@@ -1,0 +1,37 @@
+//! `distill-analysis` — the model-level compiler analyses of §4 of the paper.
+//!
+//! The paper's second contribution is the observation that, once Python's
+//! dynamism has been stripped away, the control/data-flow graph of the
+//! generated IR mirrors the cognitive model itself, so classical compiler
+//! analyses can answer *model-level* questions without ever running the
+//! model. This crate implements the four analyses the paper describes:
+//!
+//! * [`vrp`] — value range propagation extended from integers to floating
+//!   point (§4.1). Besides answering parameter-sensitivity questions, the
+//!   ranges prove the absence of NaN/∞ so fast-math style simplifications
+//!   can be applied per-operation rather than per-compilation-unit; the
+//!   rewrites themselves live in [`fastmath`].
+//! * [`scev`] — scalar evolution extended to floating point add-recurrences
+//!   with *minimum trip count* computation (§4.2), which is what estimates
+//!   convergence times of evidence-accumulation models such as the DDM.
+//! * [`mesh`] — adaptive mesh refinement over a parameter sub-space driven
+//!   entirely by interval evaluation (§4.3, Fig. 2): the optimal attention
+//!   allocation of the predator-prey model is located in a handful of
+//!   refinement rounds instead of hundreds of thousands of model runs.
+//! * [`clone`] — structural clone detection à la LLVM's `FunctionComparator`
+//!   plus aggressive inlining for whole-model equivalence (§4.4, Fig. 3):
+//!   detects that an LCA node configured a particular way computes the same
+//!   function as a DDM node, and that hand-vectorized models are equivalent
+//!   to their original form.
+
+pub mod clone;
+pub mod fastmath;
+pub mod mesh;
+pub mod scev;
+pub mod vrp;
+
+pub use clone::{functions_equivalent, models_equivalent, CloneReport};
+pub use fastmath::{apply_fast_math, apply_fast_math_module};
+pub use mesh::{refine, MeshOptions, MeshResult};
+pub use scev::{analyze_loops, AddRec, LoopEvolution};
+pub use vrp::{analyze_function, Interval, RangeMap};

@@ -1,0 +1,812 @@
+//! Floating-point value range propagation (§4.1).
+//!
+//! LLVM's value range propagation works only on integers; the paper extends
+//! it to floating point so that it can reason about cognitive-model
+//! quantities (activations, costs, probabilities). This module implements
+//! an interval domain `[lo, hi]` with an explicit "may be NaN" flag and a
+//! forward dataflow analysis over a function in SSA form. Phi nodes are
+//! resolved by interval union with widening after a bounded number of
+//! iterations, so the fixpoint always terminates.
+//!
+//! Two consumers sit on top:
+//!
+//! * [`can_apply_fast_math`] — an operation whose operands provably exclude
+//!   NaN and ±∞ can be rewritten with fast-math style identities without
+//!   breaking strict IEEE semantics (the paper's motivation for pushing the
+//!   patch upstream).
+//! * [`crate::mesh`] — adaptive mesh refinement evaluates the model's cost
+//!   function over parameter *intervals* rather than points.
+
+use distill_ir::{BinOp, CmpPred, Constant, Function, Inst, Intrinsic, UnOp, ValueId, ValueKind};
+use std::collections::HashMap;
+
+/// A closed floating point interval with NaN tracking.
+///
+/// The empty interval is represented by `lo > hi` (see [`Interval::empty`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-inf`).
+    pub lo: f64,
+    /// Upper bound (may be `+inf`).
+    pub hi: f64,
+    /// Whether the value may be NaN.
+    pub may_be_nan: bool,
+}
+
+impl Interval {
+    /// The full range: anything, including NaN.
+    pub fn top() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            may_be_nan: true,
+        }
+    }
+
+    /// The empty interval (no possible value).
+    pub fn empty() -> Interval {
+        Interval {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            may_be_nan: false,
+        }
+    }
+
+    /// A single point.
+    pub fn point(v: f64) -> Interval {
+        if v.is_nan() {
+            Interval {
+                lo: f64::INFINITY,
+                hi: f64::NEG_INFINITY,
+                may_be_nan: true,
+            }
+        } else {
+            Interval {
+                lo: v,
+                hi: v,
+                may_be_nan: false,
+            }
+        }
+    }
+
+    /// The interval `[lo, hi]` without NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        Interval {
+            lo,
+            hi,
+            may_be_nan: false,
+        }
+    }
+
+    /// Whether no non-NaN value is possible.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is a single point and cannot be NaN.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi && !self.may_be_nan
+    }
+
+    /// Whether every possible value is finite and not NaN.
+    pub fn is_finite(&self) -> bool {
+        !self.may_be_nan && self.lo.is_finite() && self.hi.is_finite() && !self.is_empty()
+    }
+
+    /// Whether the interval certainly excludes zero.
+    pub fn excludes_zero(&self) -> bool {
+        !self.is_empty() && (self.lo > 0.0 || self.hi < 0.0)
+    }
+
+    /// Whether every possible value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.is_empty() && self.lo > 0.0 && !self.may_be_nan
+    }
+
+    /// Whether every possible value is non-negative.
+    pub fn is_non_negative(&self) -> bool {
+        !self.is_empty() && self.lo >= 0.0 && !self.may_be_nan
+    }
+
+    /// The width `hi - lo` (zero for points; infinite for unbounded ranges).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Union (join) of two intervals.
+    pub fn union(&self, other: &Interval) -> Interval {
+        if self.is_empty() && !other.is_empty() {
+            return Interval {
+                may_be_nan: self.may_be_nan || other.may_be_nan,
+                ..*other
+            };
+        }
+        if other.is_empty() && !self.is_empty() {
+            return Interval {
+                may_be_nan: self.may_be_nan || other.may_be_nan,
+                ..*self
+            };
+        }
+        if self.is_empty() && other.is_empty() {
+            return Interval {
+                lo: f64::INFINITY,
+                hi: f64::NEG_INFINITY,
+                may_be_nan: self.may_be_nan || other.may_be_nan,
+            };
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            may_be_nan: self.may_be_nan || other.may_be_nan,
+        }
+    }
+
+    /// Intersection (meet) of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+            may_be_nan: self.may_be_nan && other.may_be_nan,
+        }
+    }
+
+    /// Whether `v` lies within the interval (NaN is "contained" only when
+    /// `may_be_nan` is set).
+    pub fn contains(&self, v: f64) -> bool {
+        if v.is_nan() {
+            return self.may_be_nan;
+        }
+        !self.is_empty() && self.lo <= v && v <= self.hi
+    }
+
+    /// Widening: keep bounds that are stable, push moving bounds to ±∞.
+    /// Applied to phi nodes after a few fixpoint iterations to guarantee
+    /// termination.
+    pub fn widen(&self, newer: &Interval) -> Interval {
+        let lo = if newer.lo < self.lo {
+            f64::NEG_INFINITY
+        } else {
+            self.lo
+        };
+        let hi = if newer.hi > self.hi {
+            f64::INFINITY
+        } else {
+            self.hi
+        };
+        Interval {
+            lo,
+            hi,
+            may_be_nan: self.may_be_nan || newer.may_be_nan,
+        }
+    }
+
+    // ---- interval arithmetic ---------------------------------------------
+
+    /// Interval addition.
+    pub fn add(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval {
+                may_be_nan: self.may_be_nan || rhs.may_be_nan,
+                ..Interval::empty()
+            };
+        }
+        // inf + -inf produces NaN.
+        let nan = self.may_be_nan
+            || rhs.may_be_nan
+            || (self.hi == f64::INFINITY && rhs.lo == f64::NEG_INFINITY)
+            || (self.lo == f64::NEG_INFINITY && rhs.hi == f64::INFINITY);
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+            may_be_nan: nan,
+        }
+    }
+
+    /// Interval subtraction.
+    pub fn sub(&self, rhs: &Interval) -> Interval {
+        self.add(&rhs.neg())
+    }
+
+    /// Interval negation.
+    pub fn neg(&self) -> Interval {
+        if self.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+            may_be_nan: self.may_be_nan,
+        }
+    }
+
+    /// Interval multiplication.
+    pub fn mul(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval {
+                may_be_nan: self.may_be_nan || rhs.may_be_nan,
+                ..Interval::empty()
+            };
+        }
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let nan = self.may_be_nan || rhs.may_be_nan || candidates.iter().any(|c| c.is_nan());
+        let lo = candidates
+            .iter()
+            .copied()
+            .filter(|c| !c.is_nan())
+            .fold(f64::INFINITY, f64::min);
+        let hi = candidates
+            .iter()
+            .copied()
+            .filter(|c| !c.is_nan())
+            .fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo,
+            hi,
+            may_be_nan: nan,
+        }
+    }
+
+    /// Interval division.
+    pub fn div(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval {
+                may_be_nan: self.may_be_nan || rhs.may_be_nan,
+                ..Interval::empty()
+            };
+        }
+        if rhs.contains(0.0) {
+            // Division by an interval containing zero: anything can happen.
+            return Interval::top();
+        }
+        let inv = Interval {
+            lo: 1.0 / rhs.hi,
+            hi: 1.0 / rhs.lo,
+            may_be_nan: rhs.may_be_nan,
+        };
+        self.mul(&inv)
+    }
+
+    /// Apply a monotonically increasing function to both bounds.
+    fn map_monotone(&self, f: impl Fn(f64) -> f64) -> Interval {
+        if self.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: f(self.lo),
+            hi: f(self.hi),
+            may_be_nan: self.may_be_nan,
+        }
+    }
+
+    /// `exp` of the interval (monotone, always positive).
+    pub fn exp(&self) -> Interval {
+        self.map_monotone(f64::exp)
+    }
+
+    /// `tanh` of the interval (monotone, in `[-1, 1]`).
+    pub fn tanh(&self) -> Interval {
+        self.map_monotone(f64::tanh)
+    }
+
+    /// `ln` of the interval; values ≤ 0 introduce NaN/−∞ possibilities.
+    pub fn log(&self) -> Interval {
+        if self.is_empty() {
+            return *self;
+        }
+        let nan = self.may_be_nan || self.lo < 0.0;
+        let lo = if self.lo <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.lo.ln()
+        };
+        let hi = if self.hi <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.hi.ln()
+        };
+        Interval {
+            lo,
+            hi,
+            may_be_nan: nan,
+        }
+    }
+
+    /// `sqrt` of the interval; negative parts introduce NaN.
+    pub fn sqrt(&self) -> Interval {
+        if self.is_empty() {
+            return *self;
+        }
+        let nan = self.may_be_nan || self.lo < 0.0;
+        Interval {
+            lo: self.lo.max(0.0).sqrt(),
+            hi: self.hi.max(0.0).sqrt(),
+            may_be_nan: nan,
+        }
+    }
+
+    /// Absolute value of the interval.
+    pub fn abs(&self) -> Interval {
+        if self.is_empty() {
+            return *self;
+        }
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval {
+                lo: 0.0,
+                hi: self.hi.max(-self.lo),
+                may_be_nan: self.may_be_nan,
+            }
+        }
+    }
+
+    /// Pointwise minimum.
+    pub fn min(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.min(rhs.hi),
+            // minnum propagates the non-NaN operand, so the result is NaN
+            // only if both may be.
+            may_be_nan: self.may_be_nan && rhs.may_be_nan,
+        }
+    }
+
+    /// Pointwise maximum.
+    pub fn max(&self, rhs: &Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+            may_be_nan: self.may_be_nan && rhs.may_be_nan,
+        }
+    }
+
+    /// Bounded sine/cosine result.
+    pub fn sin_cos_bound() -> Interval {
+        Interval::new(-1.0, 1.0)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")?;
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)?;
+        }
+        if self.may_be_nan {
+            write!(f, "∪NaN")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of the analysis: an interval per SSA value.
+pub type RangeMap = HashMap<ValueId, Interval>;
+
+/// Configuration for [`analyze_function`].
+#[derive(Debug, Clone, Default)]
+pub struct VrpOptions {
+    /// Ranges assumed for the function parameters (by index). Missing
+    /// entries default to [`Interval::top`].
+    pub param_ranges: HashMap<usize, Interval>,
+    /// Range assumed for every `load` result (models what is known about
+    /// the parameter structures in memory). Missing: top.
+    pub load_ranges: HashMap<ValueId, Interval>,
+    /// Number of fixpoint iterations before widening kicks in.
+    pub widen_after: usize,
+}
+
+/// Run floating-point VRP over a function and return the interval of every
+/// float-typed SSA value (integers and booleans are tracked coarsely as
+/// intervals too).
+pub fn analyze_function(func: &Function, opts: &VrpOptions) -> RangeMap {
+    let mut ranges: RangeMap = HashMap::new();
+    let widen_after = if opts.widen_after == 0 { 4 } else { opts.widen_after };
+
+    // Seed constants and parameters.
+    for (i, vd) in func.values.iter().enumerate() {
+        let id = ValueId::from_index(i);
+        match &vd.kind {
+            ValueKind::Const(c) => {
+                if let Some(v) = c.as_f64() {
+                    ranges.insert(id, Interval::point(v));
+                } else if matches!(c, Constant::Undef) {
+                    ranges.insert(id, Interval::top());
+                }
+            }
+            ValueKind::Param(p) => {
+                let r = opts
+                    .param_ranges
+                    .get(p)
+                    .copied()
+                    .unwrap_or_else(Interval::top);
+                ranges.insert(id, r);
+            }
+            ValueKind::Inst(_) => {}
+        }
+    }
+
+    if func.layout.is_empty() {
+        return ranges;
+    }
+
+    // Fixpoint over blocks in layout order.
+    let mut iteration = 0usize;
+    loop {
+        let mut changed = false;
+        for b in func.block_order() {
+            for &v in &func.block(b).insts {
+                let Some(inst) = func.as_inst(v) else { continue };
+                let new = transfer(func, inst, v, &ranges, opts);
+                let old = ranges.get(&v).copied();
+                let merged = match old {
+                    None => new,
+                    Some(old) => {
+                        if inst.is_phi() && iteration >= widen_after {
+                            old.widen(&new)
+                        } else {
+                            // Monotone join with the previous estimate; the
+                            // analysis starts from bottom (unknown values are
+                            // treated as empty) and grows towards a fixpoint.
+                            old.union(&new)
+                        }
+                    }
+                };
+                if old.map(|o| o != merged).unwrap_or(true) {
+                    ranges.insert(v, merged);
+                    changed = true;
+                }
+            }
+        }
+        iteration += 1;
+        if !changed || iteration > widen_after + 8 {
+            break;
+        }
+    }
+    ranges
+}
+
+fn get(ranges: &RangeMap, v: ValueId) -> Interval {
+    // Unknown (not yet computed) values are bottom; the optimistic fixpoint
+    // grows them towards their final range.
+    ranges.get(&v).copied().unwrap_or_else(Interval::empty)
+}
+
+fn transfer(
+    _func: &Function,
+    inst: &Inst,
+    id: ValueId,
+    ranges: &RangeMap,
+    opts: &VrpOptions,
+) -> Interval {
+    match inst {
+        Inst::Bin { op, lhs, rhs } => {
+            let a = get(ranges, *lhs);
+            let b = get(ranges, *rhs);
+            match op {
+                BinOp::FAdd | BinOp::Add => a.add(&b),
+                BinOp::FSub | BinOp::Sub => a.sub(&b),
+                BinOp::FMul | BinOp::Mul => a.mul(&b),
+                BinOp::FDiv | BinOp::SDiv => a.div(&b),
+                _ => Interval::top(),
+            }
+        }
+        Inst::Un { op, val } => match op {
+            UnOp::FNeg => get(ranges, *val).neg(),
+            UnOp::Not => Interval::new(0.0, 1.0),
+        },
+        Inst::Cmp { pred, lhs, rhs } => {
+            // Booleans live in [0,1]; fold to a point when provable.
+            let a = get(ranges, *lhs);
+            let b = get(ranges, *rhs);
+            match pred {
+                CmpPred::FLt | CmpPred::ILt if a.hi < b.lo => Interval::point(1.0),
+                CmpPred::FLt | CmpPred::ILt if a.lo >= b.hi => Interval::point(0.0),
+                CmpPred::FGt | CmpPred::IGt if a.lo > b.hi => Interval::point(1.0),
+                CmpPred::FGt | CmpPred::IGt if a.hi <= b.lo => Interval::point(0.0),
+                _ => Interval::new(0.0, 1.0),
+            }
+        }
+        Inst::Select {
+            then_val, else_val, ..
+        } => get(ranges, *then_val).union(&get(ranges, *else_val)),
+        Inst::IntrinsicCall { kind, args } => {
+            let a = || get(ranges, args[0]);
+            match kind {
+                Intrinsic::Exp => a().exp(),
+                Intrinsic::Log => a().log(),
+                Intrinsic::Sqrt => a().sqrt(),
+                Intrinsic::Tanh => a().tanh(),
+                Intrinsic::Sin | Intrinsic::Cos => Interval::sin_cos_bound(),
+                Intrinsic::FAbs => a().abs(),
+                Intrinsic::Floor | Intrinsic::Ceil => a(),
+                Intrinsic::Pow => {
+                    let base = a();
+                    if base.is_positive() {
+                        Interval::new(0.0, f64::INFINITY)
+                    } else {
+                        Interval::top()
+                    }
+                }
+                Intrinsic::FMin => a().min(&get(ranges, args[1])),
+                Intrinsic::FMax => a().max(&get(ranges, args[1])),
+                Intrinsic::RandUniform => Interval::new(0.0, 1.0),
+                Intrinsic::RandNormal => Interval::new(f64::NEG_INFINITY, f64::INFINITY),
+            }
+        }
+        Inst::Load { .. } => opts
+            .load_ranges
+            .get(&id)
+            .copied()
+            .unwrap_or_else(Interval::top),
+        Inst::Phi { incoming, .. } => {
+            let mut r = Interval::empty();
+            for (_, v) in incoming {
+                r = r.union(&get(ranges, *v));
+            }
+            if incoming.is_empty() {
+                Interval::top()
+            } else {
+                r
+            }
+        }
+        Inst::Cast { val, .. } => get(ranges, *val),
+        Inst::Call { .. } => Interval::top(),
+        Inst::Alloca { .. } | Inst::Store { .. } | Inst::Gep { .. } | Inst::GlobalAddr { .. } => {
+            Interval::top()
+        }
+    }
+}
+
+/// Whether fast-math style rewrites are safe for an operation whose operand
+/// ranges are `operands`: all operands must be finite and NaN-free.
+pub fn can_apply_fast_math(operands: &[Interval]) -> bool {
+    operands.iter().all(Interval::is_finite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_ir::{FunctionBuilder, Module};
+
+    #[test]
+    fn interval_arithmetic_basics() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 4.0);
+        assert_eq!(a.add(&b), Interval::new(-2.0, 6.0));
+        assert_eq!(a.neg(), Interval::new(-2.0, -1.0));
+        let m = a.mul(&b);
+        assert_eq!(m.lo, -6.0);
+        assert_eq!(m.hi, 8.0);
+        assert!(b.contains(0.0));
+        assert!(a.excludes_zero());
+        assert_eq!(a.div(&Interval::new(2.0, 4.0)), Interval::new(0.25, 1.0));
+        assert_eq!(a.div(&b), Interval::top());
+    }
+
+    #[test]
+    fn nan_and_infinity_tracking() {
+        let inf = Interval::new(0.0, f64::INFINITY);
+        let neg_inf = Interval::new(f64::NEG_INFINITY, 0.0);
+        let s = inf.add(&neg_inf);
+        assert!(s.may_be_nan, "inf + -inf may be NaN");
+        assert!(!Interval::new(0.0, 1.0).add(&Interval::new(2.0, 3.0)).may_be_nan);
+        assert!(Interval::new(-1.0, 1.0).log().may_be_nan);
+        assert!(Interval::new(-1.0, 1.0).sqrt().may_be_nan);
+        assert!(Interval::new(0.5, 2.0).log().is_finite());
+    }
+
+    #[test]
+    fn union_intersect_widen() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a.union(&b), Interval::new(0.0, 3.0));
+        assert!(a.intersect(&b).is_empty());
+        let w = a.widen(&Interval::new(-1.0, 0.5));
+        assert_eq!(w.lo, f64::NEG_INFINITY);
+        assert_eq!(w.hi, 1.0);
+    }
+
+    /// The paper's example: a logistic function always lands in (0, 1].
+    #[test]
+    fn logistic_output_is_bounded_by_vrp() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("logistic", vec![Ty::F64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let x = b.param(0);
+            let neg = b.fneg(x);
+            let ex = b.exp(neg);
+            let one = b.const_f64(1.0);
+            let den = b.fadd(one, ex);
+            let r = b.fdiv(one, den);
+            b.ret(Some(r));
+        }
+        let func = m.function(fid);
+        let mut opts = VrpOptions::default();
+        opts.param_ranges.insert(0, Interval::new(-10.0, 10.0));
+        let ranges = analyze_function(func, &opts);
+        // Find the returned value.
+        let entry = func.entry_block().unwrap();
+        let ret = match func.block(entry).term.clone().unwrap() {
+            distill_ir::Terminator::Ret(Some(v)) => v,
+            _ => unreachable!(),
+        };
+        let r = ranges[&ret];
+        assert!(r.lo > 0.0, "logistic is strictly positive, got {r}");
+        assert!(r.hi <= 1.0 + 1e-9, "logistic is at most 1, got {r}");
+        assert!(!r.may_be_nan);
+    }
+
+    /// exp(x) can only be positive or NaN — and with a finite input range it
+    /// is provably not NaN, enabling fast-math (§4.1).
+    #[test]
+    fn exp_is_positive_and_fast_math_eligible() {
+        let x = Interval::new(-50.0, 50.0);
+        let e = x.exp();
+        assert!(e.is_positive());
+        assert!(can_apply_fast_math(&[x, e]));
+        let unbounded = Interval::top();
+        assert!(!can_apply_fast_math(&[unbounded]));
+    }
+
+    #[test]
+    fn phi_ranges_join_and_widen_in_loops() {
+        // acc starts at 0 and adds a value in [0.1, 0.2] per iteration: the
+        // widened range must include arbitrarily large values but stay
+        // non-negative with a stable lower bound of 0.
+        let mut m = Module::new("m");
+        let fid = m.declare_function("accumulate", vec![Ty::I64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let entry = b.create_block("entry");
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let n = b.param(0);
+            let zero_i = b.const_i64(0);
+            let one_i = b.const_i64(1);
+            let zero = b.const_f64(0.0);
+            let step = b.const_f64(0.15);
+            b.br(header);
+            b.switch_to_block(header);
+            let i = b.empty_phi(Ty::I64);
+            let acc = b.empty_phi(Ty::F64);
+            b.add_phi_incoming(i, entry, zero_i);
+            b.add_phi_incoming(acc, entry, zero);
+            let c = b.cmp(CmpPred::ILt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let acc2 = b.fadd(acc, step);
+            let i2 = b.iadd(i, one_i);
+            b.add_phi_incoming(acc, body, acc2);
+            b.add_phi_incoming(i, body, i2);
+            b.br(header);
+            b.switch_to_block(exit);
+            b.ret(Some(acc));
+        }
+        let func = m.function(fid);
+        let ranges = analyze_function(func, &VrpOptions::default());
+        let entry = func.entry_block().unwrap();
+        let _ = entry;
+        // Find the accumulator phi (f64 phi).
+        let acc_phi = func
+            .values
+            .iter()
+            .enumerate()
+            .find_map(|(i, vd)| match &vd.kind {
+                ValueKind::Inst(Inst::Phi { ty, .. }) if *ty == Ty::F64 => {
+                    Some(ValueId::from_index(i))
+                }
+                _ => None,
+            })
+            .unwrap();
+        let r = ranges[&acc_phi];
+        assert!(r.lo >= 0.0, "accumulator never goes negative: {r}");
+        assert_eq!(r.hi, f64::INFINITY, "upper bound widened to +inf: {r}");
+        assert!(!r.may_be_nan);
+    }
+
+    #[test]
+    fn comparison_folding_through_ranges() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        // a < b is always true; encoded through the transfer function.
+        let mut m = Module::new("m");
+        let fid = m.declare_function("f", vec![Ty::F64, Ty::F64], Ty::Bool);
+        {
+            let f = m.function_mut(fid);
+            let mut bld = FunctionBuilder::new(f);
+            let e = bld.create_block("entry");
+            bld.switch_to_block(e);
+            let x = bld.param(0);
+            let y = bld.param(1);
+            let c = bld.cmp(CmpPred::FLt, x, y);
+            bld.ret(Some(c));
+        }
+        let mut opts = VrpOptions::default();
+        opts.param_ranges.insert(0, a);
+        opts.param_ranges.insert(1, b);
+        let func = m.function(fid);
+        let ranges = analyze_function(func, &opts);
+        let entry = func.entry_block().unwrap();
+        let ret = match func.block(entry).term.clone().unwrap() {
+            distill_ir::Terminator::Ret(Some(v)) => v,
+            _ => unreachable!(),
+        };
+        assert_eq!(ranges[&ret], Interval::point(1.0));
+    }
+
+    use distill_ir::{CmpPred, Ty};
+
+    #[cfg(test)]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn small_interval() -> impl Strategy<Value = Interval> {
+            (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+        }
+
+        proptest! {
+            /// Soundness of interval addition: the sum of any two contained
+            /// points is contained in the interval sum.
+            #[test]
+            fn add_is_sound(a in small_interval(), b in small_interval(),
+                            ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+                let x = a.lo + ta * (a.hi - a.lo);
+                let y = b.lo + tb * (b.hi - b.lo);
+                let s = a.add(&b);
+                prop_assert!(s.contains(x + y));
+            }
+
+            #[test]
+            fn mul_is_sound(a in small_interval(), b in small_interval(),
+                            ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+                let x = a.lo + ta * (a.hi - a.lo);
+                let y = b.lo + tb * (b.hi - b.lo);
+                let s = a.mul(&b);
+                prop_assert!(s.contains(x * y) || (x * y).abs() < 1e-300);
+            }
+
+            #[test]
+            fn union_contains_both(a in small_interval(), b in small_interval(),
+                                   t in 0.0f64..1.0) {
+                let u = a.union(&b);
+                let x = a.lo + t * (a.hi - a.lo);
+                let y = b.lo + t * (b.hi - b.lo);
+                prop_assert!(u.contains(x));
+                prop_assert!(u.contains(y));
+            }
+
+            #[test]
+            fn exp_is_sound(a in small_interval(), t in 0.0f64..1.0) {
+                let x = a.lo + t * (a.hi - a.lo);
+                prop_assert!(a.exp().contains(x.exp()));
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared Criterion settings: every figure bench uses small sample counts so
+//! `cargo bench --workspace` completes quickly while still reporting the
+//! relative ordering the paper's figures show.
+use criterion::Criterion;
+use std::time::Duration;
+
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200))
+        .configure_from_args()
+}

@@ -1,0 +1,26 @@
+//! Fig. 4: baseline environments vs Distill on a representative small model
+//! (Necker cube S); the full eight-model sweep is `figures --fig 4`.
+mod common;
+use criterion::Criterion;
+use distill::{time_baseline, time_distill, CompileConfig, ExecMode};
+use distill_models::necker_cube_s;
+
+fn bench(c: &mut Criterion) {
+    let w = necker_cube_s();
+    let mut g = c.benchmark_group("fig4_necker_cube_s");
+    for mode in ExecMode::all() {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| time_baseline(&w.model, &w.inputs, 2, mode, None))
+        });
+    }
+    g.bench_function("Distill", |b| {
+        b.iter(|| time_distill(&w.model, &w.inputs, 2, CompileConfig::default()))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = common::quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

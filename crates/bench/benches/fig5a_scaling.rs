@@ -1,0 +1,28 @@
+//! Fig. 5a: predator-prey scaling, baseline vs compiled, S and M variants
+//! (L/XL via `figures --fig 5a`).
+mod common;
+use criterion::Criterion;
+use distill::{compile_and_load, BaselineRunner, CompileConfig, ExecMode};
+use distill_models::predator_prey;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_predator_prey_scaling");
+    for levels in [2usize, 4] {
+        let w = predator_prey(levels);
+        g.bench_function(format!("CPython_levels{levels}"), |b| {
+            let runner = BaselineRunner::new(ExecMode::CPython);
+            b.iter(|| runner.run(&w.model, &w.inputs, 1).unwrap())
+        });
+        g.bench_function(format!("Distill_levels{levels}"), |b| {
+            let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+            b.iter(|| runner.run(&w.inputs, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = common::quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

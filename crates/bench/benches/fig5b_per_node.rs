@@ -1,0 +1,34 @@
+//! Fig. 5b: per-node vs whole-model compilation of the Botvinick Stroop
+//! model.
+mod common;
+use criterion::Criterion;
+use distill::{compile_and_load, CompileConfig, CompileMode};
+use distill_bench::scaled;
+use distill_models::botvinick_stroop;
+
+fn bench(c: &mut Criterion) {
+    let w = scaled(botvinick_stroop(), 0.1);
+    let mut g = c.benchmark_group("fig5b_stroop_compilation_scope");
+    g.bench_function("per_node", |b| {
+        let mut runner = compile_and_load(
+            &w.model,
+            CompileConfig {
+                mode: CompileMode::PerNode,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        b.iter(|| runner.run(&w.inputs, w.trials).unwrap())
+    });
+    g.bench_function("whole_model", |b| {
+        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+        b.iter(|| runner.run(&w.inputs, w.trials).unwrap())
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = common::quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

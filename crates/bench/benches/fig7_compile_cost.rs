@@ -1,0 +1,32 @@
+//! Fig. 7: compilation cost at O0–O3 (predator-prey M and multitasking).
+mod common;
+use criterion::Criterion;
+use distill::{compile, CompileConfig, OptLevel};
+use distill_models::{multitasking, predator_prey};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_compilation_cost");
+    for (name, w) in [("predator_prey_m", predator_prey(4)), ("multitasking", multitasking())] {
+        for level in OptLevel::all() {
+            g.bench_function(format!("{name}_{level}"), |b| {
+                b.iter(|| {
+                    compile(
+                        &w.model,
+                        CompileConfig {
+                            opt_level: level,
+                            ..CompileConfig::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = common::quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

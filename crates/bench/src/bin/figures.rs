@@ -1,0 +1,69 @@
+//! Regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! figures --fig 2        # adaptive mesh refinement (Fig. 2)
+//! figures --fig 3        # clone detection (Fig. 3 / §4.4)
+//! figures --fig 4        # baseline environments vs Distill (Fig. 4)
+//! figures --fig 5a|5b|5c # scaling / per-node / parallel (Fig. 5)
+//! figures --fig 6        # GPU register sweep (Fig. 6)
+//! figures --fig 7        # compilation cost breakdown (Fig. 7)
+//! figures --all          # everything (slow)
+//! figures --quick        # everything with reduced workloads
+//! ```
+
+use distill_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let fig = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let quick = has("--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let all = has("--all") || (fig.is_none() && !quick) || quick;
+
+    let want = |name: &str| all || fig.as_deref() == Some(name);
+
+    if want("2") {
+        print!("{}", bench::fig2());
+    }
+    if want("3") {
+        print!("{}", bench::fig3());
+    }
+    if want("4") {
+        println!("== Fig 4: model running times per environment (normalized in render)");
+        for series in bench::fig4(scale) {
+            print!("{}", series.render());
+        }
+    }
+    if want("5a") {
+        println!("== Fig 5a: predator-prey scaling");
+        for series in bench::fig5a(!quick) {
+            print!("{}", series.render());
+        }
+    }
+    if want("5b") {
+        print!("{}", bench::fig5b(scale).render());
+    }
+    if want("5c") {
+        let levels = if quick { 10 } else { 100 };
+        print!("{}", bench::fig5c(levels, num_threads()).render());
+    }
+    if want("6") {
+        let levels = if quick { 6 } else { 20 };
+        print!("{}", bench::fig6(levels));
+    }
+    if want("7") {
+        let levels = if quick { 4 } else { 20 };
+        print!("{}", bench::fig7(levels, 2));
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

@@ -1,0 +1,40 @@
+//! `distill-cogmodel` — a PsyNeuLink-like cognitive modeling framework.
+//!
+//! The paper's frontend is PsyNeuLink: models are computational graphs whose
+//! nodes ("mechanisms") process signals arriving over projections, scheduled
+//! by activation conditions, optionally under the control of an optimizing
+//! controller that grid-searches control-signal allocations (§2.1–2.2).
+//! This crate rebuilds that substrate:
+//!
+//! * [`mechanism`] — mechanisms with input/output ports, read-only
+//!   parameters, read-write state, an activation [`condition`] and a scalar
+//!   [computation](mechanism::NodeComputation) written in the
+//!   [`distill_pyvm::Expr`] language.
+//! * [`functions`] — the framework's function library (Linear, Logistic,
+//!   drift-diffusion and leaky-competing integrators, Gaussian observers,
+//!   dense neural-network layers); constructors specialize the templates to
+//!   the shapes they are instantiated with (§3.4.1).
+//! * [`composition`] — the model graph: nodes, projections (feedforward and
+//!   feedback), designated inputs/outputs, an optional grid-search
+//!   [`controller`], trial-termination conditions, and the sanitization run
+//!   (§2.2) that discovers every type and shape Distill later relies on.
+//! * [`runner`] — the baseline execution engine: the scheduler loop of
+//!   Listing 1 interpreted over dynamic values in one of the four §5
+//!   environments (CPython / Pyston / PyPy / PyPy-nojit).
+//! * [`nn`] — a small dense neural-network builder tagged as coming from
+//!   PyTorch, used by the Multitasking model to exercise cross-framework
+//!   compilation.
+
+pub mod composition;
+pub mod condition;
+pub mod controller;
+pub mod functions;
+pub mod mechanism;
+pub mod nn;
+pub mod runner;
+
+pub use composition::{Composition, Projection, ShapeInfo, TrialEnd};
+pub use condition::Condition;
+pub use controller::{ControlSignal, Controller};
+pub use mechanism::{Framework, Mechanism, NodeComputation};
+pub use runner::{BaselineRunner, RunError, RunOutcome, RunResult};

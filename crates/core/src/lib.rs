@@ -1,0 +1,524 @@
+//! `distill` — the top-level API of the Distill reproduction.
+//!
+//! This crate ties the substrates together into the tool the paper
+//! describes: take a PsyNeuLink-style [`Composition`], compile it with
+//! domain-specific knowledge ([`compile`]), and execute the compiled model
+//! orders of magnitude faster than the dynamic baseline — on one core, on
+//! all cores, or on the (simulated) GPU — while also exposing the
+//! model-level analyses of §4 through the re-exported `analysis` module.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distill::{compile, CompileConfig, CompiledRunner};
+//! use distill_models::predator_prey_s;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = predator_prey_s();
+//! let compiled = compile(&workload.model, CompileConfig::default())?;
+//! let mut runner = CompiledRunner::new(compiled)?;
+//! let result = runner.run(&workload.inputs, 2)?;
+//! assert_eq!(result.outputs.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use distill_analysis as analysis;
+pub use distill_codegen::{compile, CompileConfig, CompileMode, CompiledModel};
+pub use distill_cogmodel::{BaselineRunner, Composition, RunError};
+pub use distill_exec::{Engine, GpuConfig, GpuRunReport, ParallelResult};
+pub use distill_opt::OptLevel;
+pub use distill_pyvm::ExecMode;
+
+use distill_cogmodel::composition::TrialEnd;
+use distill_cogmodel::runner::TrialInput;
+use distill_codegen::global_names as gn;
+use distill_exec::{gpu, mcpu, ExecError, Value};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced when driving a compiled model.
+#[derive(Debug)]
+pub enum DistillError {
+    /// Code generation failed.
+    Codegen(distill_codegen::CodegenError),
+    /// The execution engine failed.
+    Exec(ExecError),
+    /// The request does not match the compiled artifact (e.g. asking for a
+    /// whole-model run of a per-node compilation).
+    Driver(String),
+}
+
+impl fmt::Display for DistillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistillError::Codegen(e) => write!(f, "{e}"),
+            DistillError::Exec(e) => write!(f, "{e}"),
+            DistillError::Driver(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistillError {}
+
+impl From<distill_codegen::CodegenError> for DistillError {
+    fn from(e: distill_codegen::CodegenError) -> Self {
+        DistillError::Codegen(e)
+    }
+}
+
+impl From<ExecError> for DistillError {
+    fn from(e: ExecError) -> Self {
+        DistillError::Exec(e)
+    }
+}
+
+/// Results of running a compiled model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRunResult {
+    /// Per trial, the concatenated output-node values at trial end.
+    pub outputs: Vec<Vec<f64>>,
+    /// Per trial, the number of scheduler passes executed.
+    pub passes: Vec<u64>,
+}
+
+/// Drives a [`CompiledModel`] through the execution engine.
+#[derive(Debug, Clone)]
+pub struct CompiledRunner {
+    /// The compiled model.
+    pub compiled: CompiledModel,
+    /// The model the artifact was compiled from (needed by the per-node
+    /// driver, which keeps the scheduler outside the compiled code).
+    model: Composition,
+    engine: Engine,
+}
+
+impl CompiledRunner {
+    /// Create a runner, materializing the engine memory.
+    ///
+    /// # Errors
+    /// Returns [`DistillError::Driver`] if the compiled artifact has no model
+    /// attached (never happens through [`compile_and_load`]).
+    pub fn new(compiled: CompiledModel) -> Result<CompiledRunner, DistillError> {
+        Err(DistillError::Driver(
+            "use CompiledRunner::with_model or compile_and_load (the per-node driver needs the source model)"
+                .into(),
+        ))
+        .or_else(|_: DistillError| {
+            // Whole-model artifacts can be driven without the source model,
+            // but keeping one API is simpler; reconstructing from the module
+            // is not possible, so `new` is only valid for whole-model mode.
+            if compiled.trial_func.is_some() {
+                let engine = Engine::new(compiled.module.clone());
+                Ok(CompiledRunner {
+                    compiled,
+                    model: Composition::new("detached"),
+                    engine,
+                })
+            } else {
+                Err(DistillError::Driver(
+                    "per-node compilation requires CompiledRunner::with_model".into(),
+                ))
+            }
+        })
+    }
+
+    /// Create a runner that also keeps the source model (required for
+    /// per-node mode, harmless otherwise).
+    pub fn with_model(compiled: CompiledModel, model: Composition) -> CompiledRunner {
+        let engine = Engine::new(compiled.module.clone());
+        CompiledRunner {
+            compiled,
+            model,
+            engine,
+        }
+    }
+
+    /// Borrow the engine (e.g. to inspect globals after a run).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn write_trial_input(&mut self, input: &TrialInput) {
+        let mut flat = vec![0.0; self.compiled.layout.ext_len.max(1)];
+        for (pos, values) in input.iter().enumerate() {
+            // input_nodes order defines ext offsets.
+            if let Some(&node) = self.model_input_node(pos) {
+                if let Some(&off) = self.compiled.layout.ext_offsets.get(&node) {
+                    for (i, v) in values.iter().enumerate() {
+                        if off + i < flat.len() {
+                            flat[off + i] = *v;
+                        }
+                    }
+                }
+            } else {
+                // Detached whole-model runner: inputs are laid out in order.
+                let mut off = 0;
+                for prev in input.iter().take(pos) {
+                    off += prev.len();
+                }
+                for (i, v) in values.iter().enumerate() {
+                    if off + i < flat.len() {
+                        flat[off + i] = *v;
+                    }
+                }
+            }
+        }
+        self.engine.write_global_f64(gn::EXT_INPUT, &flat);
+    }
+
+    fn model_input_node(&self, pos: usize) -> Option<&usize> {
+        self.model.input_nodes.get(pos)
+    }
+
+    /// Run `trials` trials, cycling through `inputs`.
+    ///
+    /// # Errors
+    /// Returns [`DistillError`] on engine failures.
+    pub fn run(
+        &mut self,
+        inputs: &[TrialInput],
+        trials: usize,
+    ) -> Result<CompiledRunResult, DistillError> {
+        match self.compiled.trial_func {
+            Some(_) => self.run_whole_model(inputs, trials),
+            None => self.run_per_node(inputs, trials),
+        }
+    }
+
+    fn run_whole_model(
+        &mut self,
+        inputs: &[TrialInput],
+        trials: usize,
+    ) -> Result<CompiledRunResult, DistillError> {
+        let trial_fn = self
+            .compiled
+            .trial_func
+            .ok_or_else(|| DistillError::Driver("no whole-model trial function".into()))?;
+        let mut result = CompiledRunResult {
+            outputs: Vec::with_capacity(trials),
+            passes: Vec::with_capacity(trials),
+        };
+        for trial in 0..trials {
+            let input = &inputs[trial % inputs.len()];
+            self.write_trial_input(input);
+            self.engine.call(trial_fn, &[Value::I64(trial as i64)])?;
+            let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT);
+            result
+                .outputs
+                .push(out[..self.compiled.layout.trial_output_len].to_vec());
+            result.passes.push(self.engine.read_global_i64(gn::PASSES, 0) as u64);
+        }
+        Ok(result)
+    }
+
+    /// The per-node driver (Fig. 5b, `Distill-per-node`): node computations
+    /// run compiled, but the scheduler — readiness checks, pass loop, double
+    /// buffering, grid search driver — stays outside the compiled code and
+    /// crosses the engine boundary on every step.
+    fn run_per_node(
+        &mut self,
+        inputs: &[TrialInput],
+        trials: usize,
+    ) -> Result<CompiledRunResult, DistillError> {
+        use distill_cogmodel::Condition;
+        let layout = self.compiled.layout.clone();
+        let node_funcs = self.compiled.node_funcs.clone();
+        let topo = self
+            .model
+            .topological_order()
+            .map_err(|e| DistillError::Driver(e.to_string()))?;
+        let mut result = CompiledRunResult {
+            outputs: Vec::with_capacity(trials),
+            passes: Vec::with_capacity(trials),
+        };
+        for trial in 0..trials {
+            let input = &inputs[trial % inputs.len()];
+            self.write_trial_input(input);
+            // Reset read-write structures, exactly like the trial prologue.
+            let state_init = self.engine.read_global_f64(gn::STATE_INIT);
+            if self.model.reset_state_each_trial {
+                self.engine.write_global_f64(gn::STATE, &state_init);
+            }
+            let zeros = vec![0.0; layout.out_len.max(1)];
+            self.engine.write_global_f64(gn::OUT_CUR, &zeros);
+            self.engine.write_global_f64(gn::OUT_PREV, &zeros);
+            for i in 0..self.model.mechanisms.len() {
+                self.engine.write_global_i64(gn::COUNTERS, i, 0);
+            }
+
+            // Grid search driven from outside the compiled code.
+            if let (Some(ctrl), Some(eval_fn)) = (&self.model.controller, self.compiled.eval_func) {
+                let mut best = (0usize, f64::INFINITY);
+                for g in 0..ctrl.grid_size() {
+                    let cost = self
+                        .engine
+                        .call(eval_fn, &[Value::I64(g as i64)])?
+                        .as_f64()
+                        .unwrap_or(f64::INFINITY);
+                    if cost < best.1 {
+                        best = (g, cost);
+                    }
+                }
+                let alloc = ctrl.allocation(best.0);
+                for (s, level) in alloc.iter().enumerate() {
+                    let base = self
+                        .engine
+                        .module()
+                        .global_by_name(gn::CTRL_PARAMS)
+                        .expect("ctrl_params global exists");
+                    let _ = base;
+                    // Write element s of ctrl_params.
+                    let mut cur = self.engine.read_global_f64(gn::CTRL_PARAMS);
+                    cur[s] = *level;
+                    self.engine.write_global_f64(gn::CTRL_PARAMS, &cur);
+                }
+            }
+
+            // The pass loop, with a boundary crossing per node execution.
+            let mut pass: u64 = 0;
+            let mut calls = vec![0u64; self.model.mechanisms.len()];
+            loop {
+                for &node in &topo {
+                    let ready = match &self.model.mechanisms[node].condition {
+                        Condition::Always => true,
+                        Condition::Never => false,
+                        Condition::EveryNPasses(n) => *n != 0 && pass % n == 0,
+                        Condition::AfterNCalls { node: other, n } => calls[*other] >= *n,
+                        Condition::AtMostNCalls(n) => calls[node] < *n,
+                    };
+                    if !ready {
+                        continue;
+                    }
+                    self.engine.call(node_funcs[node], &[])?;
+                    calls[node] += 1;
+                    self.engine
+                        .write_global_i64(gn::COUNTERS, node, calls[node] as i64);
+                }
+                pass += 1;
+                let cur = self.engine.read_global_f64(gn::OUT_CUR);
+                self.engine.write_global_f64(gn::OUT_PREV, &cur);
+                let done = match &self.model.trial_end {
+                    TrialEnd::AfterNPasses(n) => pass >= *n,
+                    TrialEnd::Threshold {
+                        node,
+                        port,
+                        threshold,
+                        max_passes,
+                    } => {
+                        let off = layout.out_offset(*node, *port, 0);
+                        cur[off].abs() >= *threshold || pass >= *max_passes
+                    }
+                };
+                if done {
+                    break;
+                }
+            }
+            let cur = self.engine.read_global_f64(gn::OUT_CUR);
+            let mut out = Vec::new();
+            for &o in &self.model.output_nodes {
+                let size = self.model.mechanisms[o].output_sizes.first().copied().unwrap_or(0);
+                let base = layout.out_offset(o, 0, 0);
+                out.extend_from_slice(&cur[base..base + size]);
+            }
+            result.outputs.push(out);
+            result.passes.push(pass);
+            let _ = trial;
+        }
+        Ok(result)
+    }
+
+    /// Run the controller grid search of one trial across `threads` CPU
+    /// cores (Fig. 5c, `mCPU`).
+    ///
+    /// # Errors
+    /// Returns [`DistillError::Driver`] when the model has no controller.
+    pub fn run_grid_multicore(
+        &mut self,
+        input: &TrialInput,
+        threads: usize,
+    ) -> Result<ParallelResult, DistillError> {
+        let eval_fn = self
+            .compiled
+            .eval_func
+            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
+        self.write_trial_input(input);
+        Ok(mcpu::parallel_argmin(
+            &self.engine,
+            eval_fn,
+            self.compiled.grid_size,
+            threads,
+        )?)
+    }
+
+    /// Run the controller grid search of one trial on the simulated GPU
+    /// (Fig. 5c / Fig. 6).
+    ///
+    /// # Errors
+    /// Returns [`DistillError::Driver`] when the model has no controller.
+    pub fn run_grid_gpu(
+        &mut self,
+        input: &TrialInput,
+        config: &GpuConfig,
+    ) -> Result<GpuRunReport, DistillError> {
+        let eval_fn = self
+            .compiled
+            .eval_func
+            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
+        self.write_trial_input(input);
+        Ok(gpu::run_grid(
+            &self.engine,
+            eval_fn,
+            self.compiled.grid_size,
+            config,
+        )?)
+    }
+}
+
+/// Compile a model and attach a runner in one step.
+///
+/// # Errors
+/// Propagates [`DistillError::Codegen`] failures.
+pub fn compile_and_load(
+    model: &Composition,
+    config: CompileConfig,
+) -> Result<CompiledRunner, DistillError> {
+    let compiled = compile(model, config)?;
+    Ok(CompiledRunner::with_model(compiled, model.clone()))
+}
+
+/// How long a configuration took, or why it could not complete — the unit of
+/// the Fig. 4 / Fig. 5 harnesses.
+#[derive(Debug, Clone)]
+pub enum Measurement {
+    /// Completed in the given wall-clock time.
+    Time(Duration),
+    /// Failed with an annotation the figures print instead of a bar.
+    Failed(String),
+}
+
+impl Measurement {
+    /// The time in seconds, if completed.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Measurement::Time(d) => Some(d.as_secs_f64()),
+            Measurement::Failed(_) => None,
+        }
+    }
+}
+
+/// Time a baseline run of `model` under `mode`.
+pub fn time_baseline(
+    model: &Composition,
+    inputs: &[TrialInput],
+    trials: usize,
+    mode: ExecMode,
+    eval_budget: Option<u64>,
+) -> Measurement {
+    let mut runner = BaselineRunner::new(mode);
+    runner.eval_budget = eval_budget;
+    let start = Instant::now();
+    match runner.run(model, inputs, trials) {
+        Ok(_) => Measurement::Time(start.elapsed()),
+        Err(e) => Measurement::Failed(e.to_string()),
+    }
+}
+
+/// Time a Distill-compiled run (compilation excluded, matching the paper's
+/// warmup methodology).
+pub fn time_distill(
+    model: &Composition,
+    inputs: &[TrialInput],
+    trials: usize,
+    config: CompileConfig,
+) -> Measurement {
+    match compile_and_load(model, config) {
+        Ok(mut runner) => {
+            let start = Instant::now();
+            match runner.run(inputs, trials) {
+                Ok(_) => Measurement::Time(start.elapsed()),
+                Err(e) => Measurement::Failed(e.to_string()),
+            }
+        }
+        Err(e) => Measurement::Failed(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_cogmodel::functions::{identity, linear, logistic};
+
+    fn chain_model() -> (Composition, Vec<TrialInput>) {
+        let mut c = Composition::new("chain");
+        let a = c.add(identity("in", 2));
+        let b = c.add(linear("double", 2, 2.0, 0.0));
+        let d = c.add(logistic("squash", 2, 1.0, 0.0));
+        c.connect(a, 0, b, 0, 0);
+        c.connect(b, 0, d, 0, 0);
+        c.input_nodes = vec![a];
+        c.output_nodes = vec![d];
+        (c, vec![vec![vec![0.25, -1.5]], vec![vec![1.0, 2.0]]])
+    }
+
+    #[test]
+    fn compiled_whole_model_matches_baseline() {
+        let (model, inputs) = chain_model();
+        let baseline = BaselineRunner::new(ExecMode::CPython)
+            .run(&model, &inputs, 4)
+            .unwrap();
+        let mut runner = compile_and_load(&model, CompileConfig::default()).unwrap();
+        let compiled = runner.run(&inputs, 4).unwrap();
+        assert_eq!(baseline.outputs.len(), compiled.outputs.len());
+        for (b, c) in baseline.outputs.iter().zip(&compiled.outputs) {
+            for (x, y) in b.iter().zip(c) {
+                assert!((x - y).abs() < 1e-12, "baseline {x} vs compiled {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_mode_matches_whole_model() {
+        let (model, inputs) = chain_model();
+        let mut whole = compile_and_load(&model, CompileConfig::default()).unwrap();
+        let mut per_node = compile_and_load(
+            &model,
+            CompileConfig {
+                mode: CompileMode::PerNode,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        let a = whole.run(&inputs, 3).unwrap();
+        let b = per_node.run(&inputs, 3).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.passes, b.passes);
+    }
+
+    #[test]
+    fn measurements_report_time_or_failure() {
+        let (model, inputs) = chain_model();
+        let m = time_baseline(&model, &inputs, 2, ExecMode::CPython, None);
+        assert!(m.seconds().is_some());
+        let failed = time_baseline(&model, &inputs, 100, ExecMode::CPython, Some(1));
+        assert!(failed.seconds().is_none());
+        let d = time_distill(&model, &inputs, 2, CompileConfig::default());
+        assert!(d.seconds().is_some());
+    }
+
+    #[test]
+    fn detached_runner_requires_whole_model() {
+        let (model, _) = chain_model();
+        let per_node = compile(
+            &model,
+            CompileConfig {
+                mode: CompileMode::PerNode,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(CompiledRunner::new(per_node).is_err());
+        let whole = compile(&model, CompileConfig::default()).unwrap();
+        assert!(CompiledRunner::new(whole).is_ok());
+    }
+}

@@ -1,0 +1,891 @@
+//! The IR execution engine.
+//!
+//! Memory is a flat vector of scalar slots. Globals are materialized at
+//! engine construction in declaration order; `alloca` slots live in a stack
+//! region that grows past the globals and is truncated when the allocating
+//! frame returns. Addresses are slot indices carried in [`Value::Ptr`].
+//!
+//! The engine is `Clone`: the multicore backend gives every worker thread
+//! its own copy, which is the "thread-local copy of the read-write
+//! parameter structure and node outputs" strategy of §3.6.
+
+use distill_ir::{
+    BinOp, CastKind, CmpPred, Constant, FuncId, Function, GlobalId, Inst, Intrinsic, Module,
+    Terminator, Ty, UnOp, ValueId, ValueKind,
+};
+use distill_ir::inst::GepIndex;
+use distill_pyvm::SplitMix64;
+use std::fmt;
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit float.
+    F64(f64),
+    /// 64-bit integer.
+    I64(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Pointer (slot index into engine memory).
+    Ptr(usize),
+    /// The unit value of `Void`-typed instructions.
+    Unit,
+}
+
+impl Value {
+    /// View as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// View as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// View as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A value had the wrong runtime type for an operation.
+    Type(String),
+    /// A memory access fell outside the allocated slots.
+    OutOfBounds {
+        /// Offending slot address.
+        addr: usize,
+        /// Memory size at the time.
+        size: usize,
+    },
+    /// An undefined (uninitialized) value was read.
+    Undef(String),
+    /// Integer division by zero.
+    DivisionByZero,
+    /// The instruction budget was exhausted (guards against non-terminating
+    /// generated code in tests).
+    FuelExhausted,
+    /// The called function is only a declaration.
+    MissingBody(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::OutOfBounds { addr, size } => {
+                write!(f, "memory access at slot {addr} out of bounds (size {size})")
+            }
+            ExecError::Undef(m) => write!(f, "undefined value read: {m}"),
+            ExecError::DivisionByZero => write!(f, "integer division by zero"),
+            ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            ExecError::MissingBody(n) => write!(f, "function {n} has no body"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One memory slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    F64(f64),
+    I64(i64),
+    Bool(bool),
+    Uninit,
+}
+
+/// Statistics accumulated while executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Function calls made.
+    pub calls: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+/// The execution engine: a module plus its materialized memory.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    module: Module,
+    memory: Vec<Slot>,
+    global_base: Vec<usize>,
+    stack_base: usize,
+    stats: EngineStats,
+    /// Maximum instructions per top-level `call` (default: effectively
+    /// unlimited). Tests lower it to catch runaway loops.
+    pub fuel_limit: u64,
+}
+
+impl Engine {
+    /// Materialize an engine for a module.
+    pub fn new(module: Module) -> Engine {
+        let mut memory = Vec::new();
+        let mut global_base = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            global_base.push(memory.len());
+            for c in &g.init {
+                memory.push(match c {
+                    Constant::F64(v) => Slot::F64(*v),
+                    Constant::F32(v) => Slot::F64(*v as f64),
+                    Constant::I64(v) => Slot::I64(*v),
+                    Constant::Bool(b) => Slot::Bool(*b),
+                    Constant::Undef => Slot::Uninit,
+                });
+            }
+        }
+        let stack_base = memory.len();
+        Engine {
+            module,
+            memory,
+            global_base,
+            stack_base,
+            stats: EngineStats::default(),
+            fuel_limit: u64::MAX,
+        }
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Base slot address of a global.
+    pub fn global_addr(&self, id: GlobalId) -> usize {
+        self.global_base[id.index()]
+    }
+
+    /// Read a global's slots as `f64` values.
+    ///
+    /// # Panics
+    /// Panics if the global name is unknown.
+    pub fn read_global_f64(&self, name: &str) -> Vec<f64> {
+        let id = self
+            .module
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global {name}"));
+        let base = self.global_base[id.index()];
+        let len = self.module.global(id).ty.slot_count();
+        self.memory[base..base + len]
+            .iter()
+            .map(|s| match s {
+                Slot::F64(v) => *v,
+                Slot::I64(v) => *v as f64,
+                Slot::Bool(b) => *b as i64 as f64,
+                Slot::Uninit => f64::NAN,
+            })
+            .collect()
+    }
+
+    /// Overwrite a global's slots with `f64` values (shorter inputs leave the
+    /// remaining slots untouched).
+    ///
+    /// # Panics
+    /// Panics if the global name is unknown.
+    pub fn write_global_f64(&mut self, name: &str, values: &[f64]) {
+        let id = self
+            .module
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global {name}"));
+        let base = self.global_base[id.index()];
+        for (i, v) in values.iter().enumerate() {
+            self.memory[base + i] = Slot::F64(*v);
+        }
+    }
+
+    /// Write a single `i64` slot of a global.
+    ///
+    /// # Panics
+    /// Panics if the global name is unknown.
+    pub fn write_global_i64(&mut self, name: &str, index: usize, value: i64) {
+        let id = self
+            .module
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global {name}"));
+        let base = self.global_base[id.index()];
+        self.memory[base + index] = Slot::I64(value);
+    }
+
+    /// Read a single `i64` slot of a global.
+    ///
+    /// # Panics
+    /// Panics if the global name is unknown or the slot is not an integer.
+    pub fn read_global_i64(&self, name: &str, index: usize) -> i64 {
+        let id = self
+            .module
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global {name}"));
+        let base = self.global_base[id.index()];
+        match self.memory[base + index] {
+            Slot::I64(v) => v,
+            Slot::F64(v) => v as i64,
+            Slot::Bool(b) => b as i64,
+            Slot::Uninit => panic!("uninitialized slot"),
+        }
+    }
+
+    /// Call a function by id with the given arguments.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on type errors, memory violations, division by
+    /// zero, or fuel exhaustion.
+    pub fn call(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        let mut fuel = self.fuel_limit;
+        self.call_inner(func, args, &mut fuel, 0)
+    }
+
+    fn call_inner(
+        &mut self,
+        func_id: FuncId,
+        args: &[Value],
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        self.stats.calls += 1;
+        if depth > 256 {
+            return Err(ExecError::Type("call depth exceeded".into()));
+        }
+        let func: Function = self.module.function(func_id).clone();
+        if func.layout.is_empty() {
+            return Err(ExecError::MissingBody(func.name.clone()));
+        }
+        let frame_base = self.memory.len();
+        let mut regs: Vec<Option<Value>> = vec![None; func.values.len()];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = Some(*a);
+        }
+
+        let mut block = func.entry_block().expect("function has entry block");
+        let mut prev_block: Option<distill_ir::BlockId> = None;
+        let result = 'outer: loop {
+            // Phi nodes are evaluated together against the incoming edge.
+            let blk = func.block(block);
+            let mut phi_updates: Vec<(ValueId, Value)> = Vec::new();
+            for &v in &blk.insts {
+                if let Some(Inst::Phi { incoming, .. }) = func.as_inst(v) {
+                    if let Some(pb) = prev_block {
+                        let Some((_, src)) = incoming.iter().find(|(b, _)| *b == pb) else {
+                            break 'outer Err(ExecError::Type(format!(
+                                "phi {v} has no edge from {pb}"
+                            )));
+                        };
+                        let val = self.operand(&func, &regs, *src)?;
+                        phi_updates.push((v, val));
+                    } else {
+                        break 'outer Err(ExecError::Undef(format!(
+                            "phi {v} evaluated in entry block"
+                        )));
+                    }
+                }
+            }
+            for (v, val) in phi_updates {
+                regs[v.index()] = Some(val);
+            }
+
+            for &v in &blk.insts {
+                let inst = func.as_inst(v).expect("scheduled value is an instruction");
+                if inst.is_phi() {
+                    continue;
+                }
+                if *fuel == 0 {
+                    break 'outer Err(ExecError::FuelExhausted);
+                }
+                *fuel -= 1;
+                self.stats.instructions += 1;
+                let val = self.exec_inst(&func, &mut regs, v, inst, fuel, depth)?;
+                regs[v.index()] = Some(val);
+            }
+
+            match blk.term.clone().expect("block has terminator") {
+                Terminator::Br(next) => {
+                    prev_block = Some(block);
+                    block = next;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let c = self
+                        .operand(&func, &regs, cond)?
+                        .as_bool()
+                        .ok_or_else(|| ExecError::Type("branch on non-bool".into()))?;
+                    prev_block = Some(block);
+                    block = if c { then_blk } else { else_blk };
+                }
+                Terminator::Ret(val) => {
+                    let out = match val {
+                        Some(v) => self.operand(&func, &regs, v)?,
+                        None => Value::Unit,
+                    };
+                    break Ok(out);
+                }
+                Terminator::Unreachable => {
+                    break Err(ExecError::Type("reached unreachable".into()));
+                }
+            }
+        };
+        // Pop this frame's allocas.
+        self.memory.truncate(frame_base.max(self.stack_base));
+        result
+    }
+
+    fn operand(
+        &self,
+        func: &Function,
+        regs: &[Option<Value>],
+        v: ValueId,
+    ) -> Result<Value, ExecError> {
+        match &func.value(v).kind {
+            ValueKind::Const(c) => Ok(match c {
+                Constant::F64(x) => Value::F64(*x),
+                Constant::F32(x) => Value::F64(*x as f64),
+                Constant::I64(x) => Value::I64(*x),
+                Constant::Bool(b) => Value::Bool(*b),
+                Constant::Undef => return Err(ExecError::Undef(format!("{v}"))),
+            }),
+            _ => regs[v.index()]
+                .ok_or_else(|| ExecError::Undef(format!("value {v} used before definition"))),
+        }
+    }
+
+    fn load_slot(&self, addr: usize) -> Result<Value, ExecError> {
+        match self.memory.get(addr) {
+            Some(Slot::F64(v)) => Ok(Value::F64(*v)),
+            Some(Slot::I64(v)) => Ok(Value::I64(*v)),
+            Some(Slot::Bool(b)) => Ok(Value::Bool(*b)),
+            Some(Slot::Uninit) => Err(ExecError::Undef(format!("slot {addr}"))),
+            None => Err(ExecError::OutOfBounds {
+                addr,
+                size: self.memory.len(),
+            }),
+        }
+    }
+
+    fn store_slot(&mut self, addr: usize, value: Value) -> Result<(), ExecError> {
+        let size = self.memory.len();
+        let slot = self
+            .memory
+            .get_mut(addr)
+            .ok_or(ExecError::OutOfBounds { addr, size })?;
+        *slot = match value {
+            Value::F64(v) => Slot::F64(v),
+            Value::I64(v) => Slot::I64(v),
+            Value::Bool(b) => Slot::Bool(b),
+            Value::Ptr(p) => Slot::I64(p as i64),
+            Value::Unit => return Err(ExecError::Type("storing unit value".into())),
+        };
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inst(
+        &mut self,
+        func: &Function,
+        regs: &mut [Option<Value>],
+        _id: ValueId,
+        inst: &Inst,
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        let op = |engine: &Engine, regs: &[Option<Value>], v: ValueId| engine.operand(func, regs, v);
+        match inst {
+            Inst::Bin { op: o, lhs, rhs } => {
+                let a = op(self, regs, *lhs)?;
+                let b = op(self, regs, *rhs)?;
+                exec_bin(*o, a, b)
+            }
+            Inst::Un { op: o, val } => {
+                let a = op(self, regs, *val)?;
+                match o {
+                    UnOp::FNeg => Ok(Value::F64(
+                        -a.as_f64().ok_or_else(|| ExecError::Type("fneg".into()))?,
+                    )),
+                    UnOp::Not => match a {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        Value::I64(i) => Ok(Value::I64(!i)),
+                        _ => Err(ExecError::Type("not on float".into())),
+                    },
+                }
+            }
+            Inst::Cmp { pred, lhs, rhs } => {
+                let a = op(self, regs, *lhs)?;
+                let b = op(self, regs, *rhs)?;
+                exec_cmp(*pred, a, b)
+            }
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let c = op(self, regs, *cond)?
+                    .as_bool()
+                    .ok_or_else(|| ExecError::Type("select condition".into()))?;
+                if c {
+                    op(self, regs, *then_val)
+                } else {
+                    op(self, regs, *else_val)
+                }
+            }
+            Inst::Call { callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(op(self, regs, *a)?);
+                }
+                self.call_inner(*callee, &vals, fuel, depth + 1)
+            }
+            Inst::IntrinsicCall { kind, args } => {
+                if kind.has_side_effects() {
+                    let ptr = op(self, regs, args[0])?;
+                    let addr = match ptr {
+                        Value::Ptr(p) => p,
+                        _ => return Err(ExecError::Type("PRNG state must be a pointer".into())),
+                    };
+                    let state_bits = self
+                        .load_slot(addr)?
+                        .as_i64()
+                        .ok_or_else(|| ExecError::Type("PRNG state must be an integer".into()))?;
+                    let mut rng = SplitMix64::new(state_bits as u64);
+                    let out = match kind {
+                        Intrinsic::RandUniform => rng.uniform(),
+                        Intrinsic::RandNormal => rng.normal(),
+                        _ => unreachable!(),
+                    };
+                    self.store_slot(addr, Value::I64(rng.state as i64))?;
+                    Ok(Value::F64(out))
+                } else {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(
+                            op(self, regs, *a)?
+                                .as_f64()
+                                .ok_or_else(|| ExecError::Type("intrinsic arg".into()))?,
+                        );
+                    }
+                    Ok(Value::F64(exec_math(*kind, &vals)))
+                }
+            }
+            Inst::Alloca { ty } => {
+                let addr = self.memory.len();
+                for _ in 0..ty.slot_count() {
+                    self.memory.push(Slot::Uninit);
+                }
+                Ok(Value::Ptr(addr))
+            }
+            Inst::Load { ptr } => {
+                self.stats.loads += 1;
+                let addr = match op(self, regs, *ptr)? {
+                    Value::Ptr(p) => p,
+                    other => {
+                        return Err(ExecError::Type(format!("load from non-pointer {other:?}")))
+                    }
+                };
+                self.load_slot(addr)
+            }
+            Inst::Store { ptr, value } => {
+                self.stats.stores += 1;
+                let addr = match op(self, regs, *ptr)? {
+                    Value::Ptr(p) => p,
+                    other => {
+                        return Err(ExecError::Type(format!("store to non-pointer {other:?}")))
+                    }
+                };
+                let v = op(self, regs, *value)?;
+                self.store_slot(addr, v)?;
+                Ok(Value::Unit)
+            }
+            Inst::Gep { base, indices } => {
+                let addr = match op(self, regs, *base)? {
+                    Value::Ptr(p) => p,
+                    other => return Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
+                };
+                let mut ty = func.ty(*base).pointee().clone();
+                let mut offset = 0usize;
+                for idx in indices {
+                    match (&ty, idx) {
+                        (Ty::Array(elem, _), GepIndex::Const(i)) => {
+                            offset += i * elem.slot_count();
+                            ty = (**elem).clone();
+                        }
+                        (Ty::Array(elem, _), GepIndex::Dyn(v)) => {
+                            let i = op(self, regs, *v)?
+                                .as_i64()
+                                .ok_or_else(|| ExecError::Type("gep index".into()))?;
+                            if i < 0 {
+                                return Err(ExecError::OutOfBounds {
+                                    addr,
+                                    size: self.memory.len(),
+                                });
+                            }
+                            offset += i as usize * elem.slot_count();
+                            ty = (**elem).clone();
+                        }
+                        (Ty::Struct(fields), GepIndex::Const(i)) => {
+                            offset += ty.field_offset(*i);
+                            ty = fields[*i].clone();
+                        }
+                        _ => return Err(ExecError::Type("invalid gep".into())),
+                    }
+                }
+                Ok(Value::Ptr(addr + offset))
+            }
+            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+            Inst::Cast { kind, val, .. } => {
+                let a = op(self, regs, *val)?;
+                Ok(match kind {
+                    CastKind::SiToFp => Value::F64(
+                        a.as_i64()
+                            .ok_or_else(|| ExecError::Type("sitofp".into()))? as f64,
+                    ),
+                    CastKind::FpToSi => Value::I64(
+                        a.as_f64()
+                            .ok_or_else(|| ExecError::Type("fptosi".into()))? as i64,
+                    ),
+                    CastKind::FpTrunc | CastKind::FpExt => Value::F64(
+                        a.as_f64().ok_or_else(|| ExecError::Type("fpcast".into()))?,
+                    ),
+                    CastKind::ZExtBool => Value::I64(
+                        a.as_bool().ok_or_else(|| ExecError::Type("zext".into()))? as i64,
+                    ),
+                    CastKind::TruncBool => Value::Bool(
+                        a.as_i64().ok_or_else(|| ExecError::Type("trunc".into()))? != 0,
+                    ),
+                })
+            }
+            Inst::GlobalAddr { global } => Ok(Value::Ptr(self.global_base[global.index()])),
+        }
+    }
+}
+
+fn exec_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    if op.is_float() {
+        let (x, y) = (
+            a.as_f64().ok_or_else(|| ExecError::Type("float op".into()))?,
+            b.as_f64().ok_or_else(|| ExecError::Type("float op".into()))?,
+        );
+        let r = match op {
+            BinOp::FAdd => x + y,
+            BinOp::FSub => x - y,
+            BinOp::FMul => x * y,
+            BinOp::FDiv => x / y,
+            BinOp::FRem => x % y,
+            _ => unreachable!(),
+        };
+        Ok(Value::F64(r))
+    } else {
+        let (x, y) = (
+            a.as_i64().ok_or_else(|| ExecError::Type("int op".into()))?,
+            b.as_i64().ok_or_else(|| ExecError::Type("int op".into()))?,
+        );
+        let r = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::SDiv => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::SRem => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32),
+            BinOp::LShr => ((x as u64).wrapping_shr(y as u32)) as i64,
+            BinOp::AShr => x.wrapping_shr(y as u32),
+            _ => unreachable!(),
+        };
+        Ok(Value::I64(r))
+    }
+}
+
+fn exec_cmp(pred: CmpPred, a: Value, b: Value) -> Result<Value, ExecError> {
+    let r = if pred.is_float() {
+        let (x, y) = (
+            a.as_f64().ok_or_else(|| ExecError::Type("fcmp".into()))?,
+            b.as_f64().ok_or_else(|| ExecError::Type("fcmp".into()))?,
+        );
+        match pred {
+            CmpPred::FEq => x == y,
+            CmpPred::FNe => x != y,
+            CmpPred::FLt => x < y,
+            CmpPred::FLe => x <= y,
+            CmpPred::FGt => x > y,
+            CmpPred::FGe => x >= y,
+            _ => unreachable!(),
+        }
+    } else {
+        let (x, y) = (
+            a.as_i64().ok_or_else(|| ExecError::Type("icmp".into()))?,
+            b.as_i64().ok_or_else(|| ExecError::Type("icmp".into()))?,
+        );
+        match pred {
+            CmpPred::IEq => x == y,
+            CmpPred::INe => x != y,
+            CmpPred::ILt => x < y,
+            CmpPred::ILe => x <= y,
+            CmpPred::IGt => x > y,
+            CmpPred::IGe => x >= y,
+            _ => unreachable!(),
+        }
+    };
+    Ok(Value::Bool(r))
+}
+
+fn exec_math(kind: Intrinsic, args: &[f64]) -> f64 {
+    match kind {
+        Intrinsic::Exp => args[0].exp(),
+        Intrinsic::Log => args[0].ln(),
+        Intrinsic::Sqrt => args[0].sqrt(),
+        Intrinsic::Sin => args[0].sin(),
+        Intrinsic::Cos => args[0].cos(),
+        Intrinsic::Tanh => args[0].tanh(),
+        Intrinsic::Pow => args[0].powf(args[1]),
+        Intrinsic::FAbs => args[0].abs(),
+        Intrinsic::Floor => args[0].floor(),
+        Intrinsic::Ceil => args[0].ceil(),
+        Intrinsic::FMin => args[0].min(args[1]),
+        Intrinsic::FMax => args[0].max(args[1]),
+        Intrinsic::RandUniform | Intrinsic::RandNormal => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_ir::{FunctionBuilder, Module, Ty};
+
+    fn axpy_module() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("axpy", vec![Ty::F64, Ty::F64, Ty::F64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let a = b.param(0);
+            let x = b.param(1);
+            let y = b.param(2);
+            let ax = b.fmul(a, x);
+            let r = b.fadd(ax, y);
+            b.ret(Some(r));
+        }
+        (m, fid)
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let (m, fid) = axpy_module();
+        let mut e = Engine::new(m);
+        let r = e
+            .call(fid, &[Value::F64(2.0), Value::F64(3.0), Value::F64(1.0)])
+            .unwrap();
+        assert_eq!(r, Value::F64(7.0));
+        assert!(e.stats().instructions >= 2);
+    }
+
+    #[test]
+    fn loops_and_phis_sum_integers() {
+        // sum(0..n)
+        let mut m = Module::new("m");
+        let fid = m.declare_function("sum", vec![Ty::I64], Ty::I64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let entry = b.create_block("entry");
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let n = b.param(0);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            b.br(header);
+            b.switch_to_block(header);
+            let i = b.empty_phi(Ty::I64);
+            let acc = b.empty_phi(Ty::I64);
+            b.add_phi_incoming(i, entry, zero);
+            b.add_phi_incoming(acc, entry, zero);
+            let c = b.cmp(distill_ir::CmpPred::ILt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let acc2 = b.iadd(acc, i);
+            let i2 = b.iadd(i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to_block(exit);
+            b.ret(Some(acc));
+        }
+        let mut e = Engine::new(m);
+        let r = e.call(FuncId::from_index(0), &[Value::I64(10)]).unwrap();
+        assert_eq!(r, Value::I64(45));
+    }
+
+    #[test]
+    fn globals_memory_and_gep() {
+        let mut m = Module::new("m");
+        let g = m.add_zeroed_global("buf", Ty::array(Ty::F64, 4), true);
+        let tys: Vec<Ty> = m.globals.iter().map(|g| g.ty.clone()).collect();
+        let fid = m.declare_function("bump", vec![Ty::I64, Ty::F64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f).with_global_types(tys);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let idx = b.param(0);
+            let inc = b.param(1);
+            let base = b.global_addr(g);
+            let p = b.elem_addr(base, idx);
+            let old = b.load(p);
+            let new = b.fadd(old, inc);
+            b.store(p, new);
+            b.ret(Some(new));
+        }
+        let mut e = Engine::new(m);
+        e.write_global_f64("buf", &[1.0, 2.0, 3.0, 4.0]);
+        let r = e.call(fid, &[Value::I64(2), Value::F64(0.5)]).unwrap();
+        assert_eq!(r, Value::F64(3.5));
+        assert_eq!(e.read_global_f64("buf"), vec![1.0, 2.0, 3.5, 4.0]);
+    }
+
+    #[test]
+    fn alloca_frames_are_released() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("f", vec![Ty::F64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let x = b.param(0);
+            let slot = b.alloca(Ty::F64);
+            b.store(slot, x);
+            let v = b.load(slot);
+            b.ret(Some(v));
+        }
+        let mut e = Engine::new(m);
+        let before = e.memory.len();
+        for _ in 0..100 {
+            e.call(fid, &[Value::F64(1.0)]).unwrap();
+        }
+        assert_eq!(e.memory.len(), before, "stack slots must be reclaimed");
+    }
+
+    #[test]
+    fn prng_intrinsics_match_the_shared_generator() {
+        let mut m = Module::new("m");
+        let g = m.add_global(
+            "rng",
+            Ty::array(Ty::I64, 1),
+            vec![Constant::I64(42)],
+            true,
+        );
+        let tys: Vec<Ty> = m.globals.iter().map(|g| g.ty.clone()).collect();
+        let fid = m.declare_function("draw", vec![], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f).with_global_types(tys);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let base = b.global_addr(g);
+            let p = b.const_elem_addr(base, 0);
+            let r = b.intrinsic(Intrinsic::RandNormal, vec![p]);
+            b.ret(Some(r));
+        }
+        let mut e = Engine::new(m);
+        let mut reference = SplitMix64::new(42);
+        for _ in 0..5 {
+            let got = e.call(fid, &[]).unwrap().as_f64().unwrap();
+            assert_eq!(got, reference.normal());
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("div", vec![Ty::I64, Ty::I64], Ty::I64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let x = b.param(0);
+            let y = b.param(1);
+            let r = b.sdiv(x, y);
+            b.ret(Some(r));
+        }
+        let mut e = Engine::new(m);
+        assert_eq!(
+            e.call(fid, &[Value::I64(1), Value::I64(0)]),
+            Err(ExecError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn fuel_limit_stops_runaway_loops() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("spin", vec![], Ty::Void);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            let l = b.create_block("loop");
+            b.switch_to_block(e);
+            b.br(l);
+            b.switch_to_block(l);
+            let one = b.const_i64(1);
+            let _ = b.iadd(one, one);
+            b.br(l);
+        }
+        let mut e = Engine::new(m);
+        e.fuel_limit = 10_000;
+        assert_eq!(e.call(fid, &[]), Err(ExecError::FuelExhausted));
+    }
+
+    #[test]
+    fn cloned_engines_have_independent_memory() {
+        let mut m = Module::new("m");
+        m.add_zeroed_global("buf", Ty::array(Ty::F64, 2), true);
+        let e1 = Engine::new(m);
+        let mut e2 = e1.clone();
+        e2.write_global_f64("buf", &[9.0, 9.0]);
+        assert_eq!(e1.read_global_f64("buf"), vec![0.0, 0.0]);
+        assert_eq!(e2.read_global_f64("buf"), vec![9.0, 9.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! A simulated SIMT GPU backend (§3.6, §6.3, Fig. 6).
+//!
+//! The paper offloads grid-search evaluations to a GeForce GTX 1060 through
+//! the NVPTX backend and PyCUDA. We cannot assume CUDA hardware, so this
+//! module provides the closest synthetic equivalent that exercises the same
+//! code path: the compiled evaluation kernel is executed once per grid point
+//! (functionally identical to the CUDA kernel, one thread per point), and
+//! the *reported execution time* comes from an analytic occupancy and
+//! memory-pressure model of the paper's GPU:
+//!
+//! * register pressure — each thread needs an estimated number of registers
+//!   (derived from the kernel's live-value count); the launch is limited by
+//!   the per-SM register file and by the `max_registers` throttle the paper
+//!   sweeps in Fig. 6, with spill traffic added when the throttle bites;
+//! * local-memory pressure — the paper's kernels carry ~15.5 kB (fp32) /
+//!   18.5 kB (fp64) of per-thread private data, dominated by replicated PRNG
+//!   state; that footprint (configurable) limits the number of resident
+//!   threads and adds memory traffic per evaluation, which is why the paper
+//!   finds the kernel memory-bound and fp32 barely faster than fp64;
+//! * occupancy — the ratio of resident threads to the hardware maximum.
+//!
+//! The model reproduces the *shape* of Fig. 6 — occupancy rises as the
+//! register throttle drops while run time gets worse, and fp32 ≈ fp64 —
+//! and of Fig. 5c, where the GPU beats the 12-thread CPU by a modest factor.
+
+use crate::engine::{Engine, ExecError, Value};
+use distill_ir::FuncId;
+
+/// Configuration of the simulated device (defaults follow the paper's
+/// GTX 1060 3 GB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Maximum registers per thread allowed by the compiler throttle
+    /// (the x-axis of Fig. 6).
+    pub max_registers: usize,
+    /// Local (private) memory available per SM before spilling to DRAM
+    /// becomes the bottleneck, in bytes.
+    pub local_memory_per_sm: usize,
+    /// Per-thread private data in bytes (the paper reports 15.5 kB for the
+    /// fp32 kernel and 18.5 kB for fp64, dominated by replicated PRNG state).
+    pub private_bytes_per_thread: usize,
+    /// Whether the kernel is compiled for fp32 (Fig. 6 right vs left half).
+    pub fp32: bool,
+    /// Device clock in Hz.
+    pub clock_hz: f64,
+    /// Effective DRAM bandwidth in bytes/s.
+    pub dram_bandwidth: f64,
+    /// Fixed launch overhead in seconds (driver + PyCUDA import of the
+    /// generated kernel).
+    pub launch_overhead_s: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sm_count: 9,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_registers: 256,
+            local_memory_per_sm: 96 * 1024,
+            private_bytes_per_thread: 18_500,
+            fp32: false,
+            clock_hz: 1.7e9,
+            dram_bandwidth: 192.0e9 / 2.0,
+            launch_overhead_s: 0.05,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The fp32 variant of the configuration (smaller private data, Fig. 6).
+    pub fn fp32(mut self) -> Self {
+        self.fp32 = true;
+        self.private_bytes_per_thread = 15_500;
+        self
+    }
+
+    /// Set the register throttle (Fig. 6 x-axis).
+    pub fn with_max_registers(mut self, regs: usize) -> Self {
+        self.max_registers = regs;
+        self
+    }
+}
+
+/// What the simulated launch reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuRunReport {
+    /// Index of the winning grid point (functional result).
+    pub best_index: usize,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Number of evaluations (threads launched).
+    pub evaluations: usize,
+    /// Modelled occupancy: resident threads / maximum resident threads.
+    pub occupancy: f64,
+    /// Registers the kernel wants per thread before throttling.
+    pub registers_wanted: usize,
+    /// Registers per thread after the throttle.
+    pub registers_used: usize,
+    /// Modelled kernel execution time in seconds (excludes launch overhead).
+    pub kernel_time_s: f64,
+    /// Modelled total time in seconds (launch overhead + kernel).
+    pub total_time_s: f64,
+}
+
+/// Execute the evaluation kernel for every grid point on the simulated GPU
+/// and return both the functional argmin and the modelled timing.
+///
+/// # Errors
+/// Returns the first [`ExecError`] raised by the kernel.
+pub fn run_grid(
+    engine: &Engine,
+    eval_func: FuncId,
+    grid_size: usize,
+    config: &GpuConfig,
+) -> Result<GpuRunReport, ExecError> {
+    // ---- functional execution (one logical thread per grid point) --------
+    let mut local = engine.clone();
+    let mut best = (usize::MAX, f64::INFINITY);
+    let mut kernel_instructions = 0u64;
+    for i in 0..grid_size {
+        let before = local.stats().instructions;
+        let cost = local
+            .call(eval_func, &[Value::I64(i as i64)])?
+            .as_f64()
+            .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))?;
+        kernel_instructions += local.stats().instructions - before;
+        if cost < best.1 || (cost == best.1 && i < best.0) {
+            best = (i, cost);
+        }
+    }
+    let avg_instructions = if grid_size == 0 {
+        0.0
+    } else {
+        kernel_instructions as f64 / grid_size as f64
+    };
+
+    // ---- occupancy / register model ---------------------------------------
+    let func = engine.module().function(eval_func);
+    // Live-value proxy: one register per SSA value, floor of 32, capped at
+    // the ISA maximum of 255. fp64 values take two 32-bit registers.
+    let width = if config.fp32 { 1 } else { 2 };
+    let registers_wanted = (func.values.len() * width / 4).clamp(32, 255);
+    let registers_used = registers_wanted.min(config.max_registers.max(16));
+    let spilled_registers = registers_wanted.saturating_sub(registers_used);
+
+    let threads_by_regs = config.registers_per_sm / registers_used.max(1);
+    let threads_by_local = config.local_memory_per_sm / config.private_bytes_per_thread.max(1);
+    let resident = threads_by_regs
+        .min(config.max_threads_per_sm)
+        .max(1)
+        .min(threads_by_local.max(1).max(32));
+    let occupancy = resident as f64 / config.max_threads_per_sm as f64;
+
+    // ---- timing model -----------------------------------------------------
+    // Compute time: instructions issued across SMs at ~1 instruction per
+    // cycle per resident warp group (simplified), divided by occupancy-
+    // limited parallelism.
+    let parallel_threads = (config.sm_count * resident).max(1) as f64;
+    let waves = (grid_size as f64 / parallel_threads).ceil().max(1.0);
+    let cycles_per_thread = avg_instructions * 4.0 + spilled_registers as f64 * 8.0;
+    let compute_time = waves * cycles_per_thread / config.clock_hz;
+
+    // Memory time: every evaluation streams its private data (PRNG state and
+    // read-write copies) through the memory hierarchy at least twice (read at
+    // entry, write-back at exit); spills add 8 bytes per spilled register per
+    // evaluation.
+    let bytes_per_eval =
+        2.0 * config.private_bytes_per_thread as f64 + spilled_registers as f64 * 8.0 * 4.0;
+    let memory_time = grid_size as f64 * bytes_per_eval / config.dram_bandwidth;
+
+    // The kernel is memory-bound in the paper; the max() realizes that.
+    let kernel_time_s = compute_time.max(memory_time);
+    Ok(GpuRunReport {
+        best_index: best.0,
+        best_cost: best.1,
+        evaluations: grid_size,
+        occupancy,
+        registers_wanted,
+        registers_used,
+        kernel_time_s,
+        total_time_s: kernel_time_s + config.launch_overhead_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_ir::{FunctionBuilder, Module, Ty};
+
+    fn kernel() -> (Engine, FuncId) {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("eval", vec![Ty::I64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let i = b.param(0);
+            let x = b.sitofp(i);
+            let c = b.const_f64(100.0);
+            let d = b.fsub(x, c);
+            let sq = b.fmul(d, d);
+            let ex = b.exp(sq);
+            let r = b.fadd(sq, ex);
+            b.ret(Some(r));
+        }
+        (Engine::new(m), fid)
+    }
+
+    #[test]
+    fn functional_result_matches_cpu() {
+        let (engine, fid) = kernel();
+        let gpu = run_grid(&engine, fid, 256, &GpuConfig::default()).unwrap();
+        let cpu = crate::mcpu::serial_argmin(&engine, fid, 256).unwrap();
+        assert_eq!(gpu.best_index, cpu.best_index);
+        assert_eq!(gpu.best_cost, cpu.best_cost);
+    }
+
+    #[test]
+    fn occupancy_rises_as_register_throttle_drops() {
+        let (engine, fid) = kernel();
+        let mut last_occupancy = 0.0;
+        let mut occupancies = Vec::new();
+        for regs in [256, 128, 64, 32, 16] {
+            let cfg = GpuConfig::default().with_max_registers(regs);
+            let r = run_grid(&engine, fid, 1024, &cfg).unwrap();
+            occupancies.push(r.occupancy);
+            assert!(r.occupancy >= last_occupancy - 1e-12, "{occupancies:?}");
+            last_occupancy = r.occupancy;
+            assert!(r.registers_used <= regs.max(16));
+        }
+    }
+
+    #[test]
+    fn throttling_registers_increases_time_despite_higher_occupancy() {
+        let (engine, fid) = kernel();
+        let wide = run_grid(
+            &engine,
+            fid,
+            4096,
+            &GpuConfig::default().with_max_registers(256),
+        )
+        .unwrap();
+        let narrow = run_grid(
+            &engine,
+            fid,
+            4096,
+            &GpuConfig::default().with_max_registers(16),
+        )
+        .unwrap();
+        assert!(narrow.occupancy >= wide.occupancy);
+        assert!(
+            narrow.kernel_time_s >= wide.kernel_time_s,
+            "spilling should not make the kernel faster"
+        );
+    }
+
+    #[test]
+    fn fp32_is_not_dramatically_faster_because_memory_bound() {
+        let (engine, fid) = kernel();
+        let f64_run = run_grid(&engine, fid, 4096, &GpuConfig::default()).unwrap();
+        let f32_run = run_grid(&engine, fid, 4096, &GpuConfig::default().fp32()).unwrap();
+        let ratio = f64_run.kernel_time_s / f32_run.kernel_time_s;
+        // fp32 has up to 32x the compute throughput but the paper observes
+        // almost no speedup; our model keeps the ratio well under 2x.
+        assert!(ratio < 2.0, "ratio {ratio}");
+        assert!(ratio >= 1.0, "fp32 should not be slower, ratio {ratio}");
+    }
+
+    #[test]
+    fn report_scales_with_grid_size() {
+        let (engine, fid) = kernel();
+        let small = run_grid(&engine, fid, 128, &GpuConfig::default()).unwrap();
+        let large = run_grid(&engine, fid, 4096, &GpuConfig::default()).unwrap();
+        assert!(large.kernel_time_s > small.kernel_time_s);
+        assert_eq!(large.evaluations, 4096);
+    }
+}

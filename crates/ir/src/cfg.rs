@@ -1,0 +1,364 @@
+//! Control-flow graph utilities: successors/predecessors, reverse postorder,
+//! dominator tree (Cooper–Harvey–Kennedy), and natural loop detection.
+//!
+//! These are the building blocks the optimization passes (`distill-opt`) and
+//! the analyses (`distill-analysis`, e.g. scalar evolution over loops) rely
+//! on, mirroring the role `llvm::DominatorTree` and `llvm::LoopInfo` play in
+//! the paper's implementation.
+
+use crate::function::{BlockId, Function};
+use std::collections::{HashMap, HashSet};
+
+/// Successor / predecessor maps and a reverse postorder of reachable blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists indexed by block arena index.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists indexed by block arena index.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse postorder; entry first.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` for unreachable blocks).
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Compute the CFG of a function.
+    ///
+    /// # Panics
+    /// Panics if the function has no entry block.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let entry = func.entry_block().expect("function has no entry block");
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in func.block_order() {
+            if let Some(term) = &func.block(b).term {
+                for s in term.successors() {
+                    succs[b.index()].push(s);
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+
+        // Iterative DFS postorder.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some((blk, child)) = stack.pop() {
+            if child < succs[blk.index()].len() {
+                stack.push((blk, child + 1));
+                let next = succs[blk.index()][child];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(blk);
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index[block.index()] != usize::MAX
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds_of(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Successors of `block`.
+    pub fn succs_of(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+}
+
+/// Immediate-dominator tree computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over the reverse postorder.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`None` for the entry block and for
+    /// unreachable blocks).
+    pub idom: Vec<Option<BlockId>>,
+    /// The entry block.
+    pub entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute the dominator tree of a function given its CFG.
+    pub fn new(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let entry = func.entry_block().expect("function has no entry block");
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // Pick the first processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds_of(b) {
+                    if !cfg.is_reachable(p) {
+                        continue;
+                    }
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's idom is conventionally itself during computation; store
+        // None afterwards for a cleaner API.
+        idom[entry.index()] = None;
+        DomTree { idom, entry }
+    }
+
+    /// Whether `a` dominates `b` (every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Immediate dominator of `b`, `None` for the entry block.
+    pub fn idom_of(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("intersect walked past entry");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("intersect walked past entry");
+        }
+    }
+    a
+}
+
+/// A natural loop: header plus the set of blocks in the loop body.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks belonging to the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether the loop contains `block`.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Blocks outside the loop that are targets of edges leaving the loop.
+    pub fn exit_blocks(&self, cfg: &Cfg) -> Vec<BlockId> {
+        let mut exits = Vec::new();
+        for &b in &self.blocks {
+            for &s in cfg.succs_of(b) {
+                if !self.blocks.contains(&s) && !exits.contains(&s) {
+                    exits.push(s);
+                }
+            }
+        }
+        exits.sort();
+        exits
+    }
+
+    /// The unique block outside the loop that branches into the header, if
+    /// there is exactly one (the preheader).
+    pub fn preheader(&self, cfg: &Cfg) -> Option<BlockId> {
+        let outside: Vec<BlockId> = cfg
+            .preds_of(self.header)
+            .iter()
+            .copied()
+            .filter(|p| !self.blocks.contains(p))
+            .collect();
+        if outside.len() == 1 {
+            Some(outside[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Detect all natural loops of a function (one per header; back edges to the
+/// same header are merged into a single loop).
+pub fn find_loops(func: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<Loop> {
+    let mut loops: HashMap<BlockId, Loop> = HashMap::new();
+    for b in func.block_order() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for &s in cfg.succs_of(b) {
+            if dom.dominates(s, b) {
+                // b -> s is a back edge; s is a header.
+                let entry = loops.entry(s).or_insert_with(|| Loop {
+                    header: s,
+                    blocks: HashSet::from([s]),
+                    latches: Vec::new(),
+                });
+                entry.latches.push(b);
+                // Walk backwards from the latch collecting the loop body.
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if entry.blocks.insert(x) {
+                        for &p in cfg.preds_of(x) {
+                            if cfg.is_reachable(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<Loop> = loops.into_values().collect();
+    out.sort_by_key(|l| l.header);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpPred;
+    use crate::module::Module;
+    use crate::types::Ty;
+
+    /// Build `fn count(n: i64) -> i64 { let mut i = 0; while i < n { i += 1 } i }`.
+    fn loop_function() -> Module {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("count", vec![Ty::I64], Ty::I64);
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to_block(entry);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let n = b.param(0);
+        b.br(header);
+        b.switch_to_block(header);
+        let i = b.empty_phi(Ty::I64);
+        b.add_phi_incoming(i, entry, zero);
+        let cond = b.cmp(CmpPred::ILt, i, n);
+        b.cond_br(cond, body, exit);
+        b.switch_to_block(body);
+        let next = b.iadd(i, one);
+        b.add_phi_incoming(i, body, next);
+        b.br(header);
+        b.switch_to_block(exit);
+        b.ret(Some(i));
+        m
+    }
+
+    #[test]
+    fn cfg_edges_and_rpo() {
+        let m = loop_function();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], f.entry_block().unwrap());
+        let header = BlockId::from_index(1);
+        assert_eq!(cfg.preds_of(header).len(), 2);
+        assert_eq!(cfg.succs_of(header).len(), 2);
+    }
+
+    #[test]
+    fn dominator_tree() {
+        let m = loop_function();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let entry = BlockId::from_index(0);
+        let header = BlockId::from_index(1);
+        let body = BlockId::from_index(2);
+        let exit = BlockId::from_index(3);
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom_of(entry), None);
+        assert_eq!(dom.idom_of(header), Some(entry));
+        assert_eq!(dom.idom_of(exit), Some(header));
+    }
+
+    #[test]
+    fn natural_loop_detection() {
+        let m = loop_function();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let loops = find_loops(f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId::from_index(1));
+        assert!(l.contains(BlockId::from_index(2)));
+        assert!(!l.contains(BlockId::from_index(3)));
+        assert_eq!(l.preheader(&cfg), Some(BlockId::from_index(0)));
+        assert_eq!(l.exit_blocks(&cfg), vec![BlockId::from_index(3)]);
+        assert_eq!(l.latches, vec![BlockId::from_index(2)]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("f", vec![], Ty::Void);
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let entry = b.create_block("entry");
+        let dead = b.create_block("dead");
+        b.switch_to_block(entry);
+        b.ret(None);
+        b.switch_to_block(dead);
+        b.ret(None);
+        let cfg = Cfg::new(m.function(fid));
+        assert!(cfg.is_reachable(entry));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Functions, basic blocks and the SSA value arena.
+
+use crate::constant::Constant;
+use crate::inst::Inst;
+use crate::types::Ty;
+use std::fmt;
+
+/// Identifier of an SSA value within a [`Function`].
+///
+/// Values are stored in a per-function arena; the id is the arena index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Construct a value id from an arena index.
+    pub fn from_index(i: usize) -> ValueId {
+        ValueId(u32::try_from(i).expect("value arena overflow"))
+    }
+
+    /// The arena index of the value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Construct a block id from an arena index.
+    pub fn from_index(i: usize) -> BlockId {
+        BlockId(u32::try_from(i).expect("block arena overflow"))
+    }
+
+    /// The arena index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// What a value is: a parameter, a constant, or the result of an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueKind {
+    /// The `index`-th function parameter.
+    Param(usize),
+    /// A compile-time constant.
+    Const(Constant),
+    /// The result of (or the effect of) an instruction.
+    Inst(Inst),
+}
+
+/// A value in the per-function arena: its kind, its type and an optional
+/// debug name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueData {
+    /// Parameter / constant / instruction payload.
+    pub kind: ValueKind,
+    /// The value's static type (`Void` for effect-only instructions).
+    pub ty: Ty,
+    /// Optional human-readable name used by the printer.
+    pub name: Option<String>,
+}
+
+/// A basic block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on a `Bool` value.
+    CondBr {
+        /// The branch condition.
+        cond: ValueId,
+        /// Successor when the condition is true.
+        then_blk: BlockId,
+        /// Successor when the condition is false.
+        else_blk: BlockId,
+    },
+    /// Return from the function, with a value unless the return type is
+    /// `Void`.
+    Ret(Option<ValueId>),
+    /// Control never reaches the end of this block.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of the terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+
+    /// Value operands of the terminator.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret(Some(v)) => vec![*v],
+            _ => vec![],
+        }
+    }
+
+    /// Rewrite the value operands of the terminator through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            Terminator::CondBr { cond, .. } => *cond = f(*cond),
+            Terminator::Ret(Some(v)) => *v = f(*v),
+            _ => {}
+        }
+    }
+
+    /// Rewrite the successor blocks of the terminator through `f`.
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Br(b) => *b = f(*b),
+            Terminator::CondBr {
+                then_blk, else_blk, ..
+            } => {
+                *then_blk = f(*then_blk);
+                *else_blk = f(*else_blk);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A basic block: an ordered list of instruction value ids plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockData {
+    /// Debug name of the block.
+    pub name: String,
+    /// Instruction results in execution order. Phi nodes must come first.
+    pub insts: Vec<ValueId>,
+    /// The block terminator; `None` only while the block is being built.
+    pub term: Option<Terminator>,
+}
+
+/// An IR function: typed parameters, a return type, a value arena and a list
+/// of basic blocks in layout order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name, unique within its [module](crate::Module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type (`Void` for procedures).
+    pub ret_ty: Ty,
+    /// The SSA value arena.
+    pub values: Vec<ValueData>,
+    /// The basic block arena.
+    pub blocks: Vec<BlockData>,
+    /// Blocks in layout order; `layout[0]` is the entry block.
+    pub layout: Vec<BlockId>,
+    /// Whether the function is only a declaration (body provided by the
+    /// runtime, e.g. baseline helpers); declarations have no blocks.
+    pub is_declaration: bool,
+}
+
+impl Function {
+    /// Create an empty function definition with the given signature.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret_ty: Ty) -> Function {
+        let name = name.into();
+        let mut values = Vec::new();
+        for (i, p) in params.iter().enumerate() {
+            values.push(ValueData {
+                kind: ValueKind::Param(i),
+                ty: p.clone(),
+                name: Some(format!("arg{i}")),
+            });
+        }
+        Function {
+            name,
+            params,
+            ret_ty,
+            values,
+            blocks: Vec::new(),
+            layout: Vec::new(),
+            is_declaration: false,
+        }
+    }
+
+    /// The value id of the `index`-th parameter.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn param_value(&self, index: usize) -> ValueId {
+        assert!(index < self.params.len(), "parameter index out of range");
+        ValueId::from_index(index)
+    }
+
+    /// The entry block, if the function has a body.
+    pub fn entry_block(&self) -> Option<BlockId> {
+        self.layout.first().copied()
+    }
+
+    /// Borrow the data of a value.
+    pub fn value(&self, id: ValueId) -> &ValueData {
+        &self.values[id.index()]
+    }
+
+    /// Mutably borrow the data of a value.
+    pub fn value_mut(&mut self, id: ValueId) -> &mut ValueData {
+        &mut self.values[id.index()]
+    }
+
+    /// The type of a value.
+    pub fn ty(&self, id: ValueId) -> &Ty {
+        &self.values[id.index()].ty
+    }
+
+    /// Borrow a block.
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutably borrow a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockData {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Append a new empty block and place it at the end of the layout.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(BlockData {
+            name: name.into(),
+            insts: Vec::new(),
+            term: None,
+        });
+        self.layout.push(id);
+        id
+    }
+
+    /// Add a value to the arena and return its id.
+    pub fn add_value(&mut self, data: ValueData) -> ValueId {
+        let id = ValueId::from_index(self.values.len());
+        self.values.push(data);
+        id
+    }
+
+    /// Intern a constant, reusing an existing value with the identical bit
+    /// pattern when possible.
+    pub fn add_constant(&mut self, c: Constant) -> ValueId {
+        for (i, v) in self.values.iter().enumerate() {
+            if let ValueKind::Const(existing) = &v.kind {
+                if existing.bit_eq(&c) {
+                    return ValueId::from_index(i);
+                }
+            }
+        }
+        let ty = c.ty();
+        self.add_value(ValueData {
+            kind: ValueKind::Const(c),
+            ty,
+            name: None,
+        })
+    }
+
+    /// If `id` is a constant, return it.
+    pub fn as_constant(&self, id: ValueId) -> Option<Constant> {
+        match &self.value(id).kind {
+            ValueKind::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// If `id` is an instruction, borrow it.
+    pub fn as_inst(&self, id: ValueId) -> Option<&Inst> {
+        match &self.value(id).kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// If `id` is an instruction, mutably borrow it.
+    pub fn as_inst_mut(&mut self, id: ValueId) -> Option<&mut Inst> {
+        match &mut self.value_mut(id).kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Iterator over blocks in layout order.
+    pub fn block_order(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.layout.iter().copied()
+    }
+
+    /// Total number of instructions across all blocks in the layout
+    /// (a proxy for code size used by inlining heuristics and Fig. 7).
+    pub fn inst_count(&self) -> usize {
+        self.layout
+            .iter()
+            .map(|b| self.block(*b).insts.len())
+            .sum()
+    }
+
+    /// Replace every use of `from` with `to`, in instructions and
+    /// terminators. The definition of `from` is left in place (a later DCE
+    /// removes it if dead).
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        let nvalues = self.values.len();
+        for i in 0..nvalues {
+            let id = ValueId::from_index(i);
+            if let ValueKind::Inst(inst) = &mut self.values[i].kind {
+                inst.map_operands(|v| if v == from { to } else { v });
+            }
+            let _ = id;
+        }
+        for blk in &mut self.blocks {
+            if let Some(term) = &mut blk.term {
+                term.map_operands(|v| if v == from { to } else { v });
+            }
+        }
+    }
+
+    /// Remove an instruction id from whichever block contains it (the value
+    /// stays in the arena but is no longer scheduled).
+    pub fn unschedule(&mut self, id: ValueId) {
+        for blk in &mut self.blocks {
+            blk.insts.retain(|v| *v != id);
+        }
+    }
+
+    /// Find the block that schedules `id`, if any.
+    pub fn defining_block(&self, id: ValueId) -> Option<BlockId> {
+        for b in self.block_order() {
+            if self.block(b).insts.contains(&id) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Inst};
+
+    fn sample_function() -> Function {
+        let mut f = Function::new("f", vec![Ty::F64, Ty::F64], Ty::F64);
+        let entry = f.add_block("entry");
+        let a = f.param_value(0);
+        let b = f.param_value(1);
+        let sum = f.add_value(ValueData {
+            kind: ValueKind::Inst(Inst::Bin {
+                op: BinOp::FAdd,
+                lhs: a,
+                rhs: b,
+            }),
+            ty: Ty::F64,
+            name: None,
+        });
+        f.block_mut(entry).insts.push(sum);
+        f.block_mut(entry).term = Some(Terminator::Ret(Some(sum)));
+        f
+    }
+
+    #[test]
+    fn params_are_first_values() {
+        let f = sample_function();
+        assert_eq!(f.param_value(0).index(), 0);
+        assert_eq!(f.param_value(1).index(), 1);
+        assert_eq!(*f.ty(f.param_value(0)), Ty::F64);
+    }
+
+    #[test]
+    fn constant_interning_is_bitwise() {
+        let mut f = Function::new("g", vec![], Ty::Void);
+        let a = f.add_constant(Constant::F64(1.0));
+        let b = f.add_constant(Constant::F64(1.0));
+        let c = f.add_constant(Constant::F64(-0.0));
+        let d = f.add_constant(Constant::F64(0.0));
+        assert_eq!(a, b);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_terminators() {
+        let mut f = sample_function();
+        let sum = ValueId::from_index(2);
+        let k = f.add_constant(Constant::F64(3.0));
+        f.replace_all_uses(sum, k);
+        let entry = f.entry_block().unwrap();
+        assert_eq!(f.block(entry).term, Some(Terminator::Ret(Some(k))));
+    }
+
+    #[test]
+    fn unschedule_removes_from_block() {
+        let mut f = sample_function();
+        let entry = f.entry_block().unwrap();
+        let sum = f.block(entry).insts[0];
+        assert_eq!(f.inst_count(), 1);
+        f.unschedule(sum);
+        assert_eq!(f.inst_count(), 0);
+        assert_eq!(f.defining_block(sum), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: ValueId::from_index(0),
+            then_blk: BlockId::from_index(1),
+            else_blk: BlockId::from_index(2),
+        };
+        assert_eq!(
+            t.successors(),
+            vec![BlockId::from_index(1), BlockId::from_index(2)]
+        );
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+    }
+}

@@ -1,0 +1,576 @@
+//! The dynamic (baseline) interpreter and its execution modes.
+//!
+//! Node computations arrive as [`Expr`] trees; parameters, state and inputs
+//! arrive as boxed [`DynValue`] structures. Evaluation walks the tree,
+//! performing string-keyed dictionary lookups for every parameter access and
+//! boxing every intermediate — the costs the paper attributes to CPython
+//! execution of PsyNeuLink models.
+//!
+//! [`ExecMode`] selects one of the paper's four §5 environments. The JIT
+//! modes are *simulations* built to reproduce the paper's qualitative
+//! findings rather than reimplementations of PyPy/Pyston (see DESIGN.md,
+//! substitution table): Pyston caches resolved parameter offsets per call
+//! site (a modest win), PyPy additionally records traces whose metadata
+//! grows with the number of executed operations and fails with an
+//! out-of-memory error once a cap is exceeded, and PyPy-nojit pays the
+//! tracing bookkeeping without ever reusing a trace.
+
+use crate::expr::{CmpOp, Expr, NumBinOp};
+use crate::rng::SplitMix64;
+use crate::value::DynValue;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The execution environment being simulated (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Plain CPython-style interpretation (the baseline everything is
+    /// normalized to in Fig. 4).
+    #[default]
+    CPython,
+    /// Pyston-style method-at-a-time JIT: parameter lookups are cached per
+    /// call site after the first execution, everything else stays dynamic.
+    Pyston,
+    /// PyPy-style tracing JIT: pays trace recording and guard bookkeeping
+    /// that grows with model size; can exhaust its trace memory budget.
+    PyPy,
+    /// PyPy with the JIT disabled: tracing-interpreter overhead without any
+    /// compiled traces.
+    PyPyNoJit,
+}
+
+impl ExecMode {
+    /// All modes in the order Fig. 4 lists them.
+    pub fn all() -> [ExecMode; 4] {
+        [
+            ExecMode::CPython,
+            ExecMode::PyPy,
+            ExecMode::PyPyNoJit,
+            ExecMode::Pyston,
+        ]
+    }
+
+    /// Whether the mode can execute components imported from PyTorch.
+    /// Pyston 2.0 and PyPy cannot (paper Fig. 4 annotations).
+    pub fn supports_pytorch(&self) -> bool {
+        matches!(self, ExecMode::CPython)
+    }
+
+    /// Short label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::CPython => "CPython",
+            ExecMode::Pyston => "Pyston",
+            ExecMode::PyPy => "PyPy",
+            ExecMode::PyPyNoJit => "PyPy-nojit",
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Errors produced by baseline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyVmError {
+    /// The simulated tracing JIT exhausted its memory budget (reproduces the
+    /// paper's PyPy out-of-memory failures on the Botvinick Stroop and
+    /// Predator-Prey XL models).
+    OutOfMemory {
+        /// Bytes the environment tried to hold.
+        needed_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
+    /// The environment cannot run components from this framework (Pyston and
+    /// PyPy cannot run PyTorch models).
+    UnsupportedFramework(String),
+    /// A parameter or state entry was missing from the node's dictionaries.
+    MissingName(String),
+    /// A value had the wrong dynamic type.
+    TypeError(String),
+}
+
+impl fmt::Display for PyVmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyVmError::OutOfMemory {
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "out of memory: tracing metadata needs {needed_bytes} bytes, budget is {budget_bytes}"
+            ),
+            PyVmError::UnsupportedFramework(fw) => {
+                write!(f, "execution environment does not support {fw}")
+            }
+            PyVmError::MissingName(n) => write!(f, "missing parameter or state entry `{n}`"),
+            PyVmError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PyVmError {}
+
+/// Everything a node evaluation needs: boxed inputs, parameter and state
+/// dictionaries, a PRNG, and an optional call-site key for the Pyston cache.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    /// One boxed value per input port.
+    pub inputs: &'a [DynValue],
+    /// Read-only parameter dictionary.
+    pub params: &'a DynValue,
+    /// Read-write state dictionary.
+    pub state: &'a mut DynValue,
+    /// The node's PRNG.
+    pub rng: &'a mut SplitMix64,
+    /// Stable identifier of the call site (node id, output element) used by
+    /// the Pyston specialization cache. `None` disables caching.
+    pub cache_key: Option<(usize, usize)>,
+}
+
+/// Cumulative counters describing how much dynamic work an interpreter did;
+/// the figure harness uses them to report memory footprints and the OOM
+/// reproduction relies on `trace_bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Expression nodes evaluated.
+    pub ops: u64,
+    /// String-keyed dictionary lookups performed.
+    pub dict_lookups: u64,
+    /// Boxed temporaries allocated.
+    pub boxes_allocated: u64,
+    /// Bytes of simulated trace / guard metadata currently held (PyPy modes).
+    pub trace_bytes: usize,
+    /// Cache hits in the Pyston call-site cache.
+    pub cache_hits: u64,
+}
+
+/// A tree-walking interpreter configured for one [`ExecMode`].
+#[derive(Debug)]
+pub struct Interpreter {
+    mode: ExecMode,
+    /// Budget for simulated trace metadata before the PyPy modes fail with
+    /// [`PyVmError::OutOfMemory`]. Scaled stand-in for the paper's 16 GB.
+    pub trace_budget_bytes: usize,
+    stats: InterpStats,
+    /// Pyston call-site cache: resolved parameter values per call site.
+    pyston_cache: HashMap<(usize, usize), HashMap<String, Vec<f64>>>,
+    /// PyPy trace store: per call site, the recorded trace length.
+    pypy_traces: HashMap<(usize, usize), usize>,
+}
+
+/// Default trace budget: a scaled-down stand-in for the paper's 16 GB host
+/// memory, chosen so that the two models the paper reports as OOM (Botvinick
+/// Stroop, Predator-Prey XL) exceed it while the small models do not.
+pub const DEFAULT_TRACE_BUDGET: usize = 64 * 1024 * 1024;
+
+impl Interpreter {
+    /// Create an interpreter for the given mode with the default trace
+    /// budget.
+    pub fn new(mode: ExecMode) -> Interpreter {
+        Interpreter {
+            mode,
+            trace_budget_bytes: DEFAULT_TRACE_BUDGET,
+            stats: InterpStats::default(),
+            pyston_cache: HashMap::new(),
+            pypy_traces: HashMap::new(),
+        }
+    }
+
+    /// The interpreter's execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
+    /// Reset counters and caches (used between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.stats = InterpStats::default();
+        self.pyston_cache.clear();
+        self.pypy_traces.clear();
+    }
+
+    /// Evaluate an expression to a float in the given context.
+    ///
+    /// # Errors
+    /// Returns [`PyVmError`] on missing names, type errors, or (in the PyPy
+    /// modes) when the simulated trace memory exceeds the budget.
+    pub fn eval(&mut self, expr: &Expr, ctx: &mut EvalContext<'_>) -> Result<f64, PyVmError> {
+        // Mode-specific pre-work simulating the JIT machinery.
+        match self.mode {
+            ExecMode::PyPy | ExecMode::PyPyNoJit => {
+                // Tracing: every evaluation records per-op guard metadata.
+                // Re-tracing happens whenever the scheduler re-enters the
+                // call site (cognitive models flip between scheduler and
+                // node code constantly, §2.3), so the store only grows.
+                let site = ctx.cache_key.unwrap_or((usize::MAX, usize::MAX));
+                let growth = 48 * expr.size();
+                let entry = self.pypy_traces.entry(site).or_insert(0);
+                *entry += growth;
+                self.stats.trace_bytes += growth;
+                if self.mode == ExecMode::PyPy && self.stats.trace_bytes > self.trace_budget_bytes
+                {
+                    return Err(PyVmError::OutOfMemory {
+                        needed_bytes: self.stats.trace_bytes,
+                        budget_bytes: self.trace_budget_bytes,
+                    });
+                }
+            }
+            ExecMode::Pyston | ExecMode::CPython => {}
+        }
+
+        let use_cache = self.mode == ExecMode::Pyston && ctx.cache_key.is_some();
+        if use_cache {
+            let key = ctx.cache_key.unwrap();
+            if !self.pyston_cache.contains_key(&key) {
+                // First execution at this call site: resolve the parameter
+                // dictionary once into an offset table.
+                let mut resolved = HashMap::new();
+                for name in expr.param_refs() {
+                    let v = ctx
+                        .params
+                        .get(&name)
+                        .ok_or_else(|| PyVmError::MissingName(name.clone()))?;
+                    self.stats.dict_lookups += 1;
+                    resolved.insert(name, v.flatten());
+                }
+                self.pyston_cache.insert(key, resolved);
+            } else {
+                self.stats.cache_hits += 1;
+            }
+        }
+        self.eval_inner(expr, ctx)
+    }
+
+    fn eval_inner(&mut self, expr: &Expr, ctx: &mut EvalContext<'_>) -> Result<f64, PyVmError> {
+        self.stats.ops += 1;
+        // Every intermediate is heap-boxed, as in CPython: the allocation is
+        // real, not just modelled, so the baseline pays the object-churn cost
+        // the paper attributes to dynamic execution.
+        let boxed: Box<DynValue> = Box::new(match expr {
+            Expr::Const(v) => DynValue::Float(*v),
+            Expr::Input { port, index } => {
+                let port_val = ctx.inputs.get(*port).ok_or_else(|| {
+                    PyVmError::TypeError(format!("input port {port} out of range"))
+                })?;
+                port_val
+                    .index(*index)
+                    .cloned()
+                    .ok_or_else(|| PyVmError::TypeError(format!("input element {index} missing")))?
+            }
+            Expr::Param { name, index } => {
+                let cached = if self.mode == ExecMode::Pyston {
+                    ctx.cache_key
+                        .and_then(|k| self.pyston_cache.get(&k))
+                        .and_then(|tbl| tbl.get(name))
+                        .and_then(|v| v.get(*index))
+                        .copied()
+                } else {
+                    None
+                };
+                match cached {
+                    Some(v) => DynValue::Float(v),
+                    None => {
+                        self.stats.dict_lookups += 1;
+                        // Key objects are materialized per lookup, as CPython
+                        // materializes attribute/key objects.
+                        let key = name.to_string();
+                        let p = ctx
+                            .params
+                            .get(&key)
+                            .ok_or_else(|| PyVmError::MissingName(name.clone()))?;
+                        p.index(*index)
+                            .cloned()
+                            .ok_or_else(|| PyVmError::MissingName(format!("{name}[{index}]")))?
+                    }
+                }
+            }
+            Expr::State { name, index } => {
+                self.stats.dict_lookups += 1;
+                let key = name.to_string();
+                let s = ctx
+                    .state
+                    .get(&key)
+                    .ok_or_else(|| PyVmError::MissingName(name.clone()))?;
+                s.index(*index)
+                    .cloned()
+                    .ok_or_else(|| PyVmError::MissingName(format!("{name}[{index}]")))?
+            }
+            Expr::Bin(op, a, b) => {
+                let x = self.eval_inner(a, ctx)?;
+                let y = self.eval_inner(b, ctx)?;
+                let r = match op {
+                    NumBinOp::Add => x + y,
+                    NumBinOp::Sub => x - y,
+                    NumBinOp::Mul => x * y,
+                    NumBinOp::Div => x / y,
+                };
+                DynValue::Float(r)
+            }
+            Expr::Neg(a) => DynValue::Float(-self.eval_inner(a, ctx)?),
+            Expr::Cmp(op, a, b) => {
+                let x = self.eval_inner(a, ctx)?;
+                let y = self.eval_inner(b, ctx)?;
+                let r = match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                };
+                DynValue::Bool(r)
+            }
+            Expr::If(c, t, e) => {
+                let cond = self.eval_inner(c, ctx)?;
+                if cond != 0.0 {
+                    DynValue::Float(self.eval_inner(t, ctx)?)
+                } else {
+                    DynValue::Float(self.eval_inner(e, ctx)?)
+                }
+            }
+            Expr::Call(m, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_inner(a, ctx)?);
+                }
+                if vals.len() != m.arity() {
+                    return Err(PyVmError::TypeError(format!(
+                        "{m:?} expects {} arguments, got {}",
+                        m.arity(),
+                        vals.len()
+                    )));
+                }
+                DynValue::Float(m.eval(&vals))
+            }
+            Expr::RandNormal => DynValue::Float(ctx.rng.normal()),
+            Expr::RandUniform => DynValue::Float(ctx.rng.uniform()),
+        });
+        self.stats.boxes_allocated += 1;
+        boxed
+            .as_f64()
+            .ok_or_else(|| PyVmError::TypeError(format!("expected number, got {boxed}")))
+    }
+
+    /// Write `value` into element `index` of state entry `name` (used by
+    /// node state updates, e.g. the DDM accumulator).
+    pub fn store_state(
+        &mut self,
+        ctx: &mut EvalContext<'_>,
+        name: &str,
+        index: usize,
+        value: f64,
+    ) -> Result<(), PyVmError> {
+        self.stats.dict_lookups += 1;
+        let entry = ctx
+            .state
+            .get_mut(name)
+            .ok_or_else(|| PyVmError::MissingName(name.to_string()))?;
+        match entry.index_mut(index) {
+            Some(slot) => {
+                *slot = DynValue::Float(value);
+                Ok(())
+            }
+            None => {
+                if index == 0 {
+                    *entry = DynValue::Float(value);
+                    Ok(())
+                } else {
+                    Err(PyVmError::MissingName(format!("{name}[{index}]")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr as E;
+
+    fn ctx_fixture() -> (Vec<DynValue>, DynValue, DynValue, SplitMix64) {
+        let inputs = vec![DynValue::vector(&[0.5, 1.5]), DynValue::Float(2.0)];
+        let params = DynValue::dict(vec![
+            ("gain", DynValue::Float(3.0)),
+            ("bias", DynValue::Float(0.0)),
+            ("weights", DynValue::vector(&[0.1, 0.2, 0.3])),
+        ]);
+        let state = DynValue::dict(vec![("acc", DynValue::Float(0.25))]);
+        (inputs, params, state, SplitMix64::new(1))
+    }
+
+    fn eval_with(mode: ExecMode, expr: &E) -> Result<f64, PyVmError> {
+        let (inputs, params, mut state, mut rng) = ctx_fixture();
+        let mut interp = Interpreter::new(mode);
+        let mut ctx = EvalContext {
+            inputs: &inputs,
+            params: &params,
+            state: &mut state,
+            rng: &mut rng,
+            cache_key: Some((0, 0)),
+        };
+        interp.eval(expr, &mut ctx)
+    }
+
+    #[test]
+    fn arithmetic_and_lookups() {
+        let e = E::add(
+            E::mul(E::param("gain"), E::input(0)),
+            E::param_elem("weights", 2),
+        );
+        for mode in ExecMode::all() {
+            let r = eval_with(mode, &e).unwrap();
+            assert!((r - (3.0 * 0.5 + 0.3)).abs() < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn state_reads_and_writes() {
+        let (inputs, params, mut state, mut rng) = ctx_fixture();
+        let mut interp = Interpreter::new(ExecMode::CPython);
+        let mut ctx = EvalContext {
+            inputs: &inputs,
+            params: &params,
+            state: &mut state,
+            rng: &mut rng,
+            cache_key: None,
+        };
+        let e = E::add(E::state("acc"), E::lit(1.0));
+        let v = interp.eval(&e, &mut ctx).unwrap();
+        interp.store_state(&mut ctx, "acc", 0, v).unwrap();
+        assert_eq!(state.get("acc").and_then(DynValue::as_f64), Some(1.25));
+    }
+
+    #[test]
+    fn missing_parameter_is_reported() {
+        let e = E::param("does_not_exist");
+        let err = eval_with(ExecMode::CPython, &e).unwrap_err();
+        assert!(matches!(err, PyVmError::MissingName(_)));
+    }
+
+    #[test]
+    fn conditional_and_comparison() {
+        let e = E::If(
+            Box::new(E::Cmp(
+                CmpOp::Gt,
+                Box::new(E::input(1)),
+                Box::new(E::lit(1.0)),
+            )),
+            Box::new(E::lit(10.0)),
+            Box::new(E::lit(-10.0)),
+        );
+        assert_eq!(eval_with(ExecMode::CPython, &e).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn pyston_caches_parameter_lookups() {
+        let (inputs, params, mut state, mut rng) = ctx_fixture();
+        let mut interp = Interpreter::new(ExecMode::Pyston);
+        let e = E::mul(E::param("gain"), E::input(0));
+        for _ in 0..10 {
+            let mut ctx = EvalContext {
+                inputs: &inputs,
+                params: &params,
+                state: &mut state,
+                rng: &mut rng,
+                cache_key: Some((7, 0)),
+            };
+            interp.eval(&e, &mut ctx).unwrap();
+        }
+        let stats = interp.stats();
+        assert!(stats.cache_hits >= 9);
+        // Only the first execution resolves the dictionary.
+        assert_eq!(stats.dict_lookups, 1);
+
+        let mut cpython = Interpreter::new(ExecMode::CPython);
+        for _ in 0..10 {
+            let mut ctx = EvalContext {
+                inputs: &inputs,
+                params: &params,
+                state: &mut state,
+                rng: &mut rng,
+                cache_key: Some((7, 0)),
+            };
+            cpython.eval(&e, &mut ctx).unwrap();
+        }
+        assert_eq!(cpython.stats().dict_lookups, 10);
+    }
+
+    #[test]
+    fn pypy_trace_memory_grows_and_can_oom() {
+        let (inputs, params, mut state, mut rng) = ctx_fixture();
+        let mut interp = Interpreter::new(ExecMode::PyPy);
+        interp.trace_budget_bytes = 10_000;
+        let e = E::logistic(E::input(0), E::param("gain"), E::param("bias"));
+        let mut failed = false;
+        for i in 0..200 {
+            let mut ctx = EvalContext {
+                inputs: &inputs,
+                params: &params,
+                state: &mut state,
+                rng: &mut rng,
+                cache_key: Some((i % 3, 0)),
+            };
+            match interp.eval(&e, &mut ctx) {
+                Ok(_) => {}
+                Err(PyVmError::OutOfMemory { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(failed, "trace memory should eventually exceed the budget");
+        assert!(interp.stats().trace_bytes > 10_000);
+    }
+
+    #[test]
+    fn pypy_nojit_pays_bookkeeping_but_never_compiles() {
+        let (inputs, params, mut state, mut rng) = ctx_fixture();
+        let mut interp = Interpreter::new(ExecMode::PyPyNoJit);
+        let e = E::mul(E::param("gain"), E::input(0));
+        for _ in 0..5 {
+            let mut ctx = EvalContext {
+                inputs: &inputs,
+                params: &params,
+                state: &mut state,
+                rng: &mut rng,
+                cache_key: Some((0, 0)),
+            };
+            interp.eval(&e, &mut ctx).unwrap();
+        }
+        assert!(interp.stats().trace_bytes > 0);
+        assert_eq!(interp.stats().cache_hits, 0);
+        // dict lookups are not cached in this mode.
+        assert_eq!(interp.stats().dict_lookups, 5);
+    }
+
+    #[test]
+    fn rng_expressions_use_the_context_generator() {
+        let (inputs, params, mut state, _) = ctx_fixture();
+        let mut interp = Interpreter::new(ExecMode::CPython);
+        let mut rng1 = SplitMix64::new(5);
+        let mut rng2 = SplitMix64::new(5);
+        let e = E::add(E::RandNormal, E::lit(0.0));
+        let a = {
+            let mut ctx = EvalContext {
+                inputs: &inputs,
+                params: &params,
+                state: &mut state,
+                rng: &mut rng1,
+                cache_key: None,
+            };
+            interp.eval(&e, &mut ctx).unwrap()
+        };
+        let expected = rng2.normal();
+        assert_eq!(a, expected);
+    }
+}

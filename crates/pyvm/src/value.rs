@@ -1,0 +1,281 @@
+//! Dynamically typed values, the baseline's in-memory representation.
+//!
+//! A `DynValue` is deliberately expensive in the ways CPython objects are
+//! expensive: every scalar is boxed inside an enum, lists own boxed
+//! elements, and dictionaries are association lists with string keys and
+//! linear lookup (CPython dictionaries are hash tables, but for the small
+//! dictionaries cognitive models use — a handful of parameters per node —
+//! the dominating costs are hashing, boxing and indirection, which the
+//! linear scan over heap-allocated `String` keys models faithfully).
+
+use std::fmt;
+
+/// A dynamically typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynValue {
+    /// A boxed float (the most common leaf).
+    Float(f64),
+    /// A boxed integer (counters, indices).
+    Int(i64),
+    /// A boxed boolean.
+    Bool(bool),
+    /// A heap string (keys, labels).
+    Str(String),
+    /// A list of boxed values.
+    List(Vec<DynValue>),
+    /// A string-keyed dictionary stored as an association list.
+    Dict(Vec<(String, DynValue)>),
+    /// Python's `None`.
+    None,
+}
+
+impl DynValue {
+    /// Build a list of floats.
+    pub fn vector(vals: &[f64]) -> DynValue {
+        DynValue::List(vals.iter().copied().map(DynValue::Float).collect())
+    }
+
+    /// Build a dictionary from `(key, value)` pairs.
+    pub fn dict(pairs: Vec<(&str, DynValue)>) -> DynValue {
+        DynValue::Dict(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// View as `f64`, coercing ints and bools like Python does.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DynValue::Float(v) => Some(*v),
+            DynValue::Int(v) => Some(*v as f64),
+            DynValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// View as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            DynValue::Int(v) => Some(*v),
+            DynValue::Bool(b) => Some(*b as i64),
+            DynValue::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// View as a list slice.
+    pub fn as_list(&self) -> Option<&[DynValue]> {
+        match self {
+            DynValue::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Length of a list, element count of a dict, 1 for scalars.
+    pub fn len(&self) -> usize {
+        match self {
+            DynValue::List(l) => l.len(),
+            DynValue::Dict(d) => d.len(),
+            DynValue::None => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether the value is empty (`None` or an empty container).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dictionary lookup by key (linear scan, mirroring boxed-key costs).
+    pub fn get(&self, key: &str) -> Option<&DynValue> {
+        match self {
+            DynValue::Dict(items) => items.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable dictionary lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut DynValue> {
+        match self {
+            DynValue::Dict(items) => items.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a dictionary entry.
+    ///
+    /// # Panics
+    /// Panics if the value is not a dictionary.
+    pub fn set(&mut self, key: &str, value: DynValue) {
+        match self {
+            DynValue::Dict(items) => {
+                if let Some(slot) = items.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    items.push((key.to_string(), value));
+                }
+            }
+            other => panic!("set() on non-dict value {other:?}"),
+        }
+    }
+
+    /// List element access.
+    pub fn index(&self, i: usize) -> Option<&DynValue> {
+        match self {
+            DynValue::List(l) => l.get(i),
+            _ if i == 0 => Some(self),
+            _ => None,
+        }
+    }
+
+    /// Mutable list element access.
+    pub fn index_mut(&mut self, i: usize) -> Option<&mut DynValue> {
+        match self {
+            DynValue::List(l) => l.get_mut(i),
+            _ if i == 0 => Some(self),
+            _ => None,
+        }
+    }
+
+    /// Flatten the value into a vector of floats (the "shape extraction" of
+    /// §3.1 uses this to learn sizes from the sanitization run).
+    pub fn flatten(&self) -> Vec<f64> {
+        match self {
+            DynValue::List(l) => l.iter().flat_map(|v| v.flatten()).collect(),
+            DynValue::Dict(d) => d.iter().flat_map(|(_, v)| v.flatten()).collect(),
+            DynValue::None => Vec::new(),
+            other => vec![other.as_f64().unwrap_or(f64::NAN)],
+        }
+    }
+
+    /// The static shape of the value: number of scalar slots.
+    pub fn shape(&self) -> usize {
+        self.flatten().len()
+    }
+
+    /// Deep size estimate in bytes, used to model the memory footprint of
+    /// dynamic structures (the PyPy out-of-memory reproduction counts these).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            DynValue::Float(_) | DynValue::Int(_) | DynValue::Bool(_) | DynValue::None => 32,
+            DynValue::Str(s) => 56 + s.len(),
+            DynValue::List(l) => 64 + l.iter().map(DynValue::heap_bytes).sum::<usize>(),
+            DynValue::Dict(d) => {
+                104 + d
+                    .iter()
+                    .map(|(k, v)| 56 + k.len() + v.heap_bytes())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for DynValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynValue::Float(v) => write!(f, "{v}"),
+            DynValue::Int(v) => write!(f, "{v}"),
+            DynValue::Bool(b) => write!(f, "{b}"),
+            DynValue::Str(s) => write!(f, "{s:?}"),
+            DynValue::None => write!(f, "None"),
+            DynValue::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            DynValue::Dict(d) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<f64> for DynValue {
+    fn from(v: f64) -> Self {
+        DynValue::Float(v)
+    }
+}
+
+impl From<i64> for DynValue {
+    fn from(v: i64) -> Self {
+        DynValue::Int(v)
+    }
+}
+
+impl From<bool> for DynValue {
+    fn from(v: bool) -> Self {
+        DynValue::Bool(v)
+    }
+}
+
+impl From<Vec<f64>> for DynValue {
+    fn from(v: Vec<f64>) -> Self {
+        DynValue::vector(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_views() {
+        assert_eq!(DynValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(DynValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(DynValue::Bool(true).as_i64(), Some(1));
+        assert_eq!(DynValue::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn dict_get_set() {
+        let mut d = DynValue::dict(vec![("gain", DynValue::Float(2.0))]);
+        assert_eq!(d.get("gain").and_then(DynValue::as_f64), Some(2.0));
+        assert_eq!(d.get("bias"), None);
+        d.set("bias", DynValue::Float(0.5));
+        d.set("gain", DynValue::Float(3.0));
+        assert_eq!(d.get("gain").and_then(DynValue::as_f64), Some(3.0));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn list_indexing_and_flatten() {
+        let v = DynValue::vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.index(1).and_then(DynValue::as_f64), Some(2.0));
+        assert_eq!(v.flatten(), vec![1.0, 2.0, 3.0]);
+        let nested = DynValue::List(vec![v.clone(), DynValue::Float(4.0)]);
+        assert_eq!(nested.flatten(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(nested.shape(), 4);
+    }
+
+    #[test]
+    fn scalars_index_like_singletons() {
+        let s = DynValue::Float(7.0);
+        assert_eq!(s.index(0).and_then(DynValue::as_f64), Some(7.0));
+        assert_eq!(s.index(1), None);
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_structure() {
+        let scalar = DynValue::Float(1.0);
+        let list = DynValue::vector(&[1.0; 100]);
+        let dict = DynValue::dict(vec![("a", list.clone()), ("b", scalar.clone())]);
+        assert!(scalar.heap_bytes() < list.heap_bytes());
+        assert!(list.heap_bytes() < dict.heap_bytes());
+    }
+
+    #[test]
+    fn display_is_python_flavoured() {
+        let d = DynValue::dict(vec![("k", DynValue::vector(&[1.0, 2.0]))]);
+        assert_eq!(d.to_string(), "{\"k\": [1, 2]}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace-level integration package for the Distill reproduction.
+//!
+//! The real functionality lives in the `distill-*` crates under `crates/`.
+//! This package exists to host the repository-level `tests/` and `examples/`
+//! directories required by the reproduction layout. It re-exports the
+//! top-level [`distill`] crate for convenience.
+pub use distill::*;

@@ -1,0 +1,116 @@
+//! Integration: the compiled path reproduces the dynamic baseline exactly on
+//! every benchmark model that CPython can run, and the failure annotations of
+//! Fig. 4 appear in the right places.
+
+use distill::{compile_and_load, BaselineRunner, CompileConfig, CompileMode, ExecMode};
+use distill_cogmodel::RunError;
+use distill_models::*;
+
+fn assert_outputs_match(name: &str, a: &[Vec<f64>], b: &[Vec<f64>], tol: f64) {
+    assert_eq!(a.len(), b.len(), "{name}: trial counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.len(), y.len(), "{name}: trial {i} output sizes differ");
+        for (u, v) in x.iter().zip(y) {
+            assert!(
+                (u - v).abs() <= tol * (1.0 + u.abs().max(v.abs())),
+                "{name}: trial {i}: baseline {u} vs compiled {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_matches_baseline_on_deterministic_models() {
+    for w in [
+        necker_cube_s(),
+        necker_cube_m(),
+        vectorized_necker_cube(),
+        botvinick_stroop(),
+        extended_stroop_a(),
+        extended_stroop_b(),
+    ] {
+        let trials = 3.min(w.trials);
+        let baseline = BaselineRunner::new(ExecMode::CPython)
+            .run(&w.model, &w.inputs, trials)
+            .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.model.name));
+        let mut runner = compile_and_load(&w.model, CompileConfig::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.model.name));
+        let compiled = runner
+            .run(&w.inputs, trials)
+            .unwrap_or_else(|e| panic!("{}: compiled run failed: {e}", w.model.name));
+        assert_outputs_match(&w.model.name, &baseline.outputs, &compiled.outputs, 1e-9);
+        assert_eq!(
+            baseline.passes, compiled.passes,
+            "{}: pass counts differ",
+            w.model.name
+        );
+    }
+}
+
+#[test]
+fn compiled_matches_baseline_on_stochastic_models() {
+    // Predator-prey draws random observations per grid evaluation; the
+    // compiled path replicates the PRNG streams so results match exactly.
+    for w in [predator_prey_s(), predator_prey_m(), multitasking()] {
+        let trials = 2;
+        let baseline = BaselineRunner::new(ExecMode::CPython)
+            .run(&w.model, &w.inputs, trials)
+            .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.model.name));
+        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+        let compiled = runner.run(&w.inputs, trials).unwrap();
+        assert_outputs_match(&w.model.name, &baseline.outputs, &compiled.outputs, 1e-9);
+    }
+}
+
+#[test]
+fn per_node_and_whole_model_agree() {
+    let w = botvinick_stroop();
+    let mut whole = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+    let mut per_node = compile_and_load(
+        &w.model,
+        CompileConfig {
+            mode: CompileMode::PerNode,
+            ..CompileConfig::default()
+        },
+    )
+    .unwrap();
+    let a = whole.run(&w.inputs, 3).unwrap();
+    let b = per_node.run(&w.inputs, 3).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+}
+
+#[test]
+fn figure4_failure_annotations() {
+    // PyTorch-backed multitasking is rejected by Pyston and PyPy.
+    let w = multitasking();
+    for mode in [ExecMode::Pyston, ExecMode::PyPy, ExecMode::PyPyNoJit] {
+        let err = BaselineRunner::new(mode)
+            .run(&w.model, &w.inputs, 1)
+            .unwrap_err();
+        assert!(matches!(err, RunError::UnsupportedFramework { .. }), "{mode:?}");
+    }
+    // The Botvinick Stroop workload exhausts the simulated PyPy trace budget.
+    let w = botvinick_stroop();
+    let err = BaselineRunner::new(ExecMode::PyPy)
+        .run(&w.model, &w.inputs, w.trials)
+        .unwrap_err();
+    assert!(matches!(err, RunError::OutOfMemory { .. }));
+    // ...but completes under CPython and under Distill.
+    assert!(BaselineRunner::new(ExecMode::CPython)
+        .run(&w.model, &w.inputs, 3)
+        .is_ok());
+}
+
+#[test]
+fn parallel_grid_matches_serial_grid() {
+    let w = predator_prey(4);
+    let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+    let serial = runner.run_grid_multicore(&w.inputs[0], 1).unwrap();
+    let parallel = runner.run_grid_multicore(&w.inputs[0], 8).unwrap();
+    assert_eq!(serial.best_index, parallel.best_index);
+    assert_eq!(serial.best_cost, parallel.best_cost);
+    let gpu = runner
+        .run_grid_gpu(&w.inputs[0], &distill::GpuConfig::default())
+        .unwrap();
+    assert_eq!(gpu.best_index, serial.best_index);
+}

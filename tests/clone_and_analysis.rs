@@ -1,0 +1,108 @@
+//! Integration: the §4 analyses applied to whole benchmark models.
+
+use distill::analysis;
+use distill::{compile, CompileConfig};
+use distill_models::{extended_stroop_a, extended_stroop_b, necker_cube_m, vectorized_necker_cube};
+
+/// Extended Stroop A and B are written differently but compute the same
+/// model; after whole-model compilation and canonicalization the comparator
+/// proves them equivalent (§4.4).
+#[test]
+fn extended_stroop_variants_are_clones() {
+    let a = extended_stroop_a();
+    let b = extended_stroop_b();
+    let ca = compile(&a.model, CompileConfig::default()).unwrap();
+    let cb = compile(&b.model, CompileConfig::default()).unwrap();
+    let mut merged = ca.module.clone();
+    let mut other = cb.module.function(cb.trial_func.unwrap()).clone();
+    other.name = "trial_b".into();
+    let fb = merged.add_function(other);
+    let report = analysis::functions_equivalent(&merged, ca.trial_func.unwrap(), fb);
+    assert!(report.equivalent, "mismatch: {:?}", report.mismatch);
+    assert!(report.matched_instructions > 50);
+}
+
+/// The scalar and vectorized Necker-cube models differ in structure and node
+/// count but compute related dynamics; clone detection must NOT claim raw
+/// structural equivalence of unrelated models (sanity check against false
+/// positives), while each model is trivially equivalent to itself.
+#[test]
+fn clone_detection_is_not_a_false_positive_machine() {
+    let scalar = compile(&necker_cube_m().model, CompileConfig::default()).unwrap();
+    let vector = compile(&vectorized_necker_cube().model, CompileConfig::default()).unwrap();
+    let self_report = analysis::functions_equivalent(
+        &scalar.module,
+        scalar.trial_func.unwrap(),
+        scalar.trial_func.unwrap(),
+    );
+    assert!(self_report.equivalent);
+    let mut merged = scalar.module.clone();
+    let mut other = vector.module.function(vector.trial_func.unwrap()).clone();
+    other.name = "trial_vec".into();
+    let fv = merged.add_function(other);
+    let cross = analysis::functions_equivalent(&merged, scalar.trial_func.unwrap(), fv);
+    assert!(!cross.equivalent);
+}
+
+/// SCEV estimates the DDM convergence time that the executed model actually
+/// exhibits (§4.2): analysis prediction vs measured passes.
+#[test]
+fn scev_prediction_matches_executed_convergence() {
+    use distill_cogmodel::composition::TrialEnd;
+    use distill_cogmodel::functions::{ddm_integrator, identity};
+    use distill_cogmodel::{BaselineRunner, Composition};
+    use distill_pyvm::ExecMode;
+
+    let mut c = Composition::new("ddm_convergence");
+    let stim = c.add(identity("stim", 1));
+    let ddm = c.add(ddm_integrator("ddm", 1.0, 0.0, 0.02, 0.0));
+    c.connect(stim, 0, ddm, 0, 0);
+    c.input_nodes = vec![stim];
+    c.output_nodes = vec![ddm];
+    c.trial_end = TrialEnd::Threshold {
+        node: ddm,
+        port: 0,
+        threshold: 1.0,
+        max_passes: 10_000,
+    };
+    let predicted = analysis::scev::ddm_expected_steps(0.0, 1.0, 0.02, 1.0).unwrap();
+    let r = BaselineRunner::new(ExecMode::CPython)
+        .run(&c, &[vec![vec![1.0]]], 1)
+        .unwrap();
+    let measured = r.passes[0];
+    assert!(
+        (measured as i64 - predicted as i64).abs() <= 1,
+        "SCEV predicted {predicted}, model took {measured} passes"
+    );
+}
+
+/// Fig. 2: mesh refinement needs orders of magnitude fewer evaluations than
+/// the conventional grid search (100 levels x ~1000 stochastic repetitions).
+#[test]
+fn mesh_refinement_is_cheaper_than_grid_search() {
+    use distill_ir::{FunctionBuilder, Module, Ty};
+    let mut m = Module::new("cost");
+    let fid = m.declare_function("cost", vec![Ty::F64], Ty::F64);
+    {
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let e = b.create_block("entry");
+        b.switch_to_block(e);
+        let a = b.param(0);
+        let opt = b.const_f64(4.6);
+        let d = b.fsub(a, opt);
+        let sq = b.fmul(d, d);
+        b.ret(Some(sq));
+    }
+    let r = analysis::refine(
+        m.function(fid),
+        0,
+        0.0,
+        5.0,
+        &[],
+        analysis::MeshOptions::default(),
+    );
+    assert_eq!(r.rounds(), 7);
+    assert!(r.analysis_evaluations < 100);
+    assert!((r.estimate - 4.6).abs() < 0.1);
+}
