@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI for the Distill reproduction: the tier-1 verify plus a
+# compile-check of every bench target and a reduced-workload figures run.
+# No step may touch the network; CARGO_NET_OFFLINE makes cargo fail fast if
+# anything ever tries.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release)"
+cargo build --release --workspace
+
+echo "== test"
+cargo test -q --workspace
+
+echo "== benches compile"
+cargo bench --no-run --workspace
+
+echo "== figures (reduced workloads, JSON to bench_results/)"
+cargo run --release -p distill-bench --bin figures
+
+echo "CI OK"

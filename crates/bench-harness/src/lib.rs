@@ -1,0 +1,559 @@
+//! `distill-bench-harness` — an offline, dependency-free micro-benchmark
+//! harness exposing the subset of the criterion.rs API the repository's
+//! benches use.
+//!
+//! The build environment has no network access, so criterion cannot be
+//! fetched; this crate replaces it. `crates/bench` renames it to `criterion`
+//! in its manifest, so the bench sources keep the standard idiom:
+//!
+//! ```
+//! use distill_bench_harness::Criterion;
+//! use std::time::Duration;
+//!
+//! let mut c = Criterion::default()
+//!     .sample_size(10)
+//!     .warm_up_time(Duration::from_millis(5))
+//!     .measurement_time(Duration::from_millis(20))
+//!     .output_dir(std::env::temp_dir().join("distill-bench-harness-doc"))
+//!     .configure_from_args();
+//! let mut group = c.benchmark_group("example");
+//! group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+//! group.finish();
+//! c.final_summary();
+//! ```
+//!
+//! Measurement model (a simplification of criterion's):
+//!
+//! 1. **Warm-up** — the routine runs with doubling iteration counts until the
+//!    warm-up time is spent, which also yields a per-iteration estimate.
+//! 2. **Adaptive sampling** — the harness targets `sample_size` samples
+//!    inside `measurement_time`, sizing iterations-per-sample from the
+//!    estimate; routines too slow for that budget degrade gracefully to
+//!    fewer samples of one iteration each (never fewer than
+//!    [`MIN_SAMPLES`]) instead of blowing the time budget.
+//! 3. **Robust statistics** — the reported center is the median, the spread
+//!    the scaled median absolute deviation ([`stats`]).
+//!
+//! Every finished group is reported to stdout, both human-readable and as a
+//! single-line JSON record, and written to `bench_results/<group>.json`
+//! (directory overridable with `DISTILL_BENCH_DIR` or `--output-dir`) so CI
+//! can archive per-figure timings across commits.
+
+pub mod json;
+pub mod stats;
+
+use json::Json;
+use stats::Stats;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Never report fewer samples than this, however slow the routine.
+pub const MIN_SAMPLES: usize = 3;
+
+/// Measurement configuration (per `Criterion`, overridable per group).
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// One benchmark's identifier and summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Summary statistics (seconds per iteration).
+    pub stats: Stats,
+}
+
+/// A finished benchmark group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Group name (the per-figure benches use one group per figure).
+    pub name: String,
+    /// The group's benchmarks in execution order.
+    pub benchmarks: Vec<BenchReport>,
+}
+
+impl GroupReport {
+    /// The group as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", Json::str(&self.name)),
+            (
+                "benchmarks",
+                Json::Arr(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("id", Json::str(&b.id)),
+                                ("median_s", b.stats.median.into()),
+                                ("mad_s", b.stats.mad.into()),
+                                ("mean_s", b.stats.mean.into()),
+                                ("min_s", b.stats.min.into()),
+                                ("max_s", b.stats.max.into()),
+                                ("std_dev_s", b.stats.std_dev.into()),
+                                ("samples", b.stats.samples.into()),
+                                ("iters_per_sample", b.stats.iters_per_sample.into()),
+                                ("total_time_s", b.stats.total_time.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+    list_mode: bool,
+    /// Run every routine exactly once without timing (set by `--test`, the
+    /// flag cargo passes when benches are executed under `cargo test`).
+    test_mode: bool,
+    output_dir: Option<PathBuf>,
+    quiet: bool,
+    reports: Vec<GroupReport>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            config: Config::default(),
+            filter: None,
+            list_mode: false,
+            test_mode: false,
+            output_dir: None,
+            quiet: false,
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the time budget the sample loop aims to stay within.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up time spent before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Only run benchmarks whose `group/id` path contains `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Criterion {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Set the directory JSON reports are written to.
+    pub fn output_dir(mut self, dir: impl Into<PathBuf>) -> Criterion {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// Apply command-line arguments, criterion-style:
+    ///
+    /// * positional `FILTER` — substring filter on `group/id`
+    /// * `--sample-size N`, `--measurement-time SECS`, `--warm-up-time SECS`
+    /// * `--quick` — small samples / short measurement for smoke runs
+    /// * `--list` — list benchmark ids without running them
+    /// * `--test` — run each routine once, untimed (cargo test integration)
+    /// * `--output-dir DIR` — where JSON reports go
+    /// * `--bench`, `--exact`, `--save-baseline X`, `--baseline X`,
+    ///   `--noplot` — accepted for cargo/criterion CLI compatibility,
+    ///   ignored otherwise
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            let mut take_value = || {
+                i += 1;
+                args.get(i).cloned().unwrap_or_default()
+            };
+            match arg {
+                "--sample-size" => {
+                    if let Ok(n) = take_value().parse::<usize>() {
+                        self.config.sample_size = n.max(2);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Ok(s) = take_value().parse::<f64>() {
+                        self.config.measurement_time = Duration::from_secs_f64(s.max(0.001));
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Ok(s) = take_value().parse::<f64>() {
+                        self.config.warm_up_time = Duration::from_secs_f64(s.max(0.0));
+                    }
+                }
+                "--output-dir" => {
+                    let dir = take_value();
+                    if !dir.is_empty() {
+                        self.output_dir = Some(PathBuf::from(dir));
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--profile-time" => {
+                    let _ = take_value();
+                }
+                "--quick" => {
+                    self.config.sample_size = self.config.sample_size.min(10);
+                    self.config.measurement_time =
+                        self.config.measurement_time.min(Duration::from_millis(300));
+                    self.config.warm_up_time =
+                        self.config.warm_up_time.min(Duration::from_millis(50));
+                }
+                "--list" => self.list_mode = true,
+                "--test" => self.test_mode = true,
+                "--quiet" => self.quiet = true,
+                "--bench" | "--exact" | "--noplot" | "--verbose" | "-v" => {}
+                _ if arg.starts_with("--") => {}
+                _ => self.filter = Some(arg.to_string()),
+            }
+            i += 1;
+        }
+        self
+    }
+
+    /// Open a named benchmark group. Benchmarks registered on the returned
+    /// handle are measured immediately; the group's report is recorded when
+    /// the handle is finished (or dropped).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            results: Vec::new(),
+            criterion: self,
+        }
+    }
+
+    /// Convenience single-benchmark entry point: a group of one.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// All reports recorded so far.
+    pub fn reports(&self) -> &[GroupReport] {
+        &self.reports
+    }
+
+    /// Print the JSON record for every group and write the per-group report
+    /// files. Call once at the end of `main`.
+    pub fn final_summary(&mut self) {
+        if self.list_mode || self.test_mode {
+            return;
+        }
+        let dir = self.resolve_output_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        }
+        for report in &self.reports {
+            let json = report.to_json();
+            println!("BENCH-JSON {json}");
+            let path = dir.join(format!("{}.json", sanitize(&report.name)));
+            if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else if !self.quiet {
+                println!("report written to {}", path.display());
+            }
+        }
+    }
+
+    fn resolve_output_dir(&self) -> PathBuf {
+        // An explicit choice (builder call or --output-dir flag) wins over
+        // the environment; DISTILL_BENCH_DIR only replaces the default.
+        if let Some(dir) = &self.output_dir {
+            return dir.clone();
+        }
+        if let Ok(dir) = std::env::var("DISTILL_BENCH_DIR") {
+            if !dir.is_empty() {
+                return PathBuf::from(dir);
+            }
+        }
+        PathBuf::from("bench_results")
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    results: Vec<BenchReport>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Override the warm-up time for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Measure one benchmark. The routine receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] exactly once per invocation.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let path = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !path.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.criterion.list_mode {
+            println!("{path}: benchmark");
+            return self;
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher::with_iters(1);
+            f(&mut b);
+            println!("{path}: test passed");
+            return self;
+        }
+
+        let stats = measure(&self.config, &mut f);
+        if !self.criterion.quiet {
+            println!("{path}");
+            println!(
+                "    time: [{} ± {}]  median ± MAD, {} samples × {} iters",
+                stats::fmt_time(stats.median),
+                stats::fmt_time(stats.mad),
+                stats.samples,
+                stats.iters_per_sample,
+            );
+        }
+        self.results.push(BenchReport { id, stats });
+        self
+    }
+
+    /// Record the group's report. Dropping the group does the same; `finish`
+    /// exists for criterion compatibility and reads better at call sites.
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        if !self.results.is_empty() {
+            self.criterion.reports.push(GroupReport {
+                name: std::mem::take(&mut self.name),
+                benchmarks: std::mem::take(&mut self.results),
+            });
+        }
+    }
+}
+
+/// Hands the routine its iteration count and records the elapsed time,
+/// mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn with_iters(iters: u64) -> Bencher {
+        Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Run `routine` `self.iters` times, timing the whole batch. The
+    /// routine's output is passed through [`black_box`] so the optimizer
+    /// cannot delete the computation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One sample: run the routine with `iters` iterations, return seconds/iter.
+fn run_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> (f64, Duration) {
+    let mut b = Bencher::with_iters(iters);
+    f(&mut b);
+    (b.elapsed.as_secs_f64() / iters as f64, b.elapsed)
+}
+
+/// Warm-up, then the adaptive sample loop, then summary statistics.
+fn measure<F: FnMut(&mut Bencher)>(config: &Config, f: &mut F) -> Stats {
+    // Warm-up with doubling iteration counts until the budget is spent; the
+    // last observation is the per-iteration estimate used to size samples.
+    let warm_start = Instant::now();
+    let mut iters = 1u64;
+    let mut per_iter_estimate;
+    loop {
+        let (estimate, _) = run_sample(f, iters);
+        per_iter_estimate = estimate.max(1e-12);
+        if warm_start.elapsed() >= config.warm_up_time || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Size iterations-per-sample so `sample_size` samples fit the budget.
+    let budget = config.measurement_time.as_secs_f64();
+    let per_sample_budget = budget / config.sample_size as f64;
+    let iters_per_sample = ((per_sample_budget / per_iter_estimate) as u64).clamp(1, 1 << 24);
+
+    // Adaptive sample loop: stop early once the budget is exhausted twice
+    // over, as long as a robust minimum of samples has been collected.
+    let mut samples = Vec::with_capacity(config.sample_size);
+    let mut total = Duration::ZERO;
+    for _ in 0..config.sample_size {
+        let (secs_per_iter, elapsed) = run_sample(f, iters_per_sample);
+        samples.push(secs_per_iter);
+        total += elapsed;
+        let min_met = samples.len() >= MIN_SAMPLES.min(config.sample_size);
+        if min_met && total.as_secs_f64() > 2.0 * budget {
+            break;
+        }
+    }
+    stats::compute(&samples, iters_per_sample, total.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            g.finish();
+        }
+        let reports = c.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "unit");
+        assert_eq!(reports[0].benchmarks.len(), 1);
+        let s = &reports[0].benchmarks[0].stats;
+        assert!(s.samples >= MIN_SAMPLES);
+        assert!(s.median >= 0.0);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn slow_routines_degrade_to_min_samples() {
+        let mut c = quick();
+        {
+            let mut g = c.benchmark_group("slow");
+            g.bench_function("sleep", |b| {
+                b.iter(|| std::thread::sleep(Duration::from_millis(8)))
+            });
+            g.finish();
+        }
+        let s = &c.reports()[0].benchmarks[0].stats;
+        assert_eq!(s.iters_per_sample, 1);
+        assert!(s.samples >= MIN_SAMPLES);
+        assert!(s.samples < 5, "budget overrun should stop sampling early");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = quick().with_filter("kept");
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("kept", |b| b.iter(|| 1 + 1));
+            g.bench_function("dropped", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.reports()[0].benchmarks.len(), 1);
+        assert_eq!(c.reports()[0].benchmarks[0].id, "kept");
+    }
+
+    #[test]
+    fn group_report_json_shape() {
+        let mut c = quick();
+        c.bench_function("solo", |b| b.iter(|| 2 * 2));
+        let json = c.reports()[0].to_json().to_string();
+        assert!(json.starts_with("{\"group\":\"solo\""));
+        assert!(json.contains("\"median_s\":"));
+        assert!(json.contains("\"iters_per_sample\":"));
+    }
+
+    #[test]
+    fn bench_function_string_and_str_ids() {
+        let mut c = quick();
+        {
+            let mut g = c.benchmark_group("ids");
+            g.bench_function("static", |b| b.iter(|| 0u8));
+            g.bench_function(format!("dynamic{}", 1), |b| b.iter(|| 0u8));
+            g.finish();
+        }
+        let ids: Vec<&str> =
+            c.reports()[0].benchmarks.iter().map(|b| b.id.as_str()).collect();
+        assert_eq!(ids, ["static", "dynamic1"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Robust summary statistics over benchmark samples.
+//!
+//! Criterion reports means with confidence intervals from bootstrapping; for
+//! an offline harness the cheaper robust pair median / MAD (median absolute
+//! deviation) is plenty: both are insensitive to the occasional
+//! scheduler-induced outlier sample, which is the dominant noise source on a
+//! shared CI machine.
+
+/// Summary statistics of one benchmark's samples, in seconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Iterations averaged inside each sample.
+    pub iters_per_sample: u64,
+    /// Median seconds per iteration.
+    pub median: f64,
+    /// Median absolute deviation (scaled by 1.4826 to estimate sigma under
+    /// normality, as is conventional).
+    pub mad: f64,
+    /// Arithmetic mean seconds per iteration.
+    pub mean: f64,
+    /// Fastest sample.
+    pub min: f64,
+    /// Slowest sample.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Total wall-clock seconds spent measuring (excluding warm-up).
+    pub total_time: f64,
+}
+
+/// Median of a sorted slice. Panics on an empty slice.
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    assert!(!sorted.is_empty(), "median of empty sample set");
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median absolute deviation around `center`, scaled to estimate sigma.
+pub fn mad(samples: &[f64], center: f64) -> f64 {
+    let mut devs: Vec<f64> = samples.iter().map(|s| (s - center).abs()).collect();
+    devs.sort_by(|a, b| a.total_cmp(b));
+    1.4826 * median_sorted(&devs)
+}
+
+/// Compute the full summary for per-iteration sample times.
+pub fn compute(samples: &[f64], iters_per_sample: u64, total_time: f64) -> Stats {
+    assert!(!samples.is_empty(), "no samples collected");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let med = median_sorted(&sorted);
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let var = if sorted.len() > 1 {
+        sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (sorted.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Stats {
+        samples: sorted.len(),
+        iters_per_sample,
+        median: med,
+        mad: mad(&sorted, med),
+        mean,
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        std_dev: var.sqrt(),
+        total_time,
+    }
+}
+
+/// Render a seconds value with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_time(secs: f64) -> String {
+    let (value, unit) = if secs < 1e-6 {
+        (secs * 1e9, "ns")
+    } else if secs < 1e-3 {
+        (secs * 1e6, "µs")
+    } else if secs < 1.0 {
+        (secs * 1e3, "ms")
+    } else {
+        (secs, "s")
+    };
+    format!("{value:.4} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_sorted(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 9.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_ignores_outlier() {
+        let samples: [f64; 5] = [1.0, 1.1, 0.9, 1.05, 50.0];
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let med = median_sorted(&sorted);
+        assert_eq!(med, 1.05);
+        // The outlier moves the mean far more than the MAD.
+        assert!(mad(&samples, med) < 0.5);
+    }
+
+    #[test]
+    fn compute_summary() {
+        let s = compute(&[2.0, 1.0, 3.0], 7, 6.0);
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.iters_per_sample, 7);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.total_time, 6.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.5000 µs");
+        assert_eq!(fmt_time(2.5e-3), "2.5000 ms");
+        assert_eq!(fmt_time(2.5), "2.5000 s");
+    }
+}

@@ -1,6 +1,12 @@
-//! Shared Criterion settings: every figure bench uses small sample counts so
-//! `cargo bench --workspace` completes quickly while still reporting the
-//! relative ordering the paper's figures show.
+//! Shared harness settings for the per-figure benches.
+//!
+//! `criterion` here is the in-repo `distill-bench-harness` crate (renamed in
+//! `Cargo.toml`), which exposes a criterion-compatible subset API and needs
+//! no network access. Every figure bench uses small sample counts and a
+//! short measurement budget so `cargo bench --workspace` completes at CI
+//! speed while still reporting the relative ordering the paper's figures
+//! show; the harness's adaptive sample loop degrades slow configurations to
+//! fewer samples instead of blowing the budget.
 use criterion::Criterion;
 use std::time::Duration;
 

@@ -9,6 +9,7 @@
 //! is simulated), but the series have the same shape: who wins, by roughly
 //! what factor, and which configurations fail with which annotation.
 
+use criterion::json::Json;
 use distill::{
     analysis, compile, compile_and_load, time_baseline, time_distill, CompileConfig, CompileMode,
     ExecMode, GpuConfig, Measurement, OptLevel,
@@ -43,6 +44,15 @@ impl Cell {
             },
         }
     }
+
+    /// The cell as a JSON object: `{"label": …, "seconds": …}` on success,
+    /// `{"label": …, "error": …}` on a failure annotation.
+    pub fn to_json(&self) -> Json {
+        match &self.result {
+            Ok(s) => Json::obj([("label", Json::str(&self.label)), ("seconds", (*s).into())]),
+            Err(msg) => Json::obj([("label", Json::str(&self.label)), ("error", Json::str(msg))]),
+        }
+    }
 }
 
 /// A titled group of cells (one model of Fig. 4, one variant of Fig. 5…).
@@ -75,6 +85,14 @@ impl Series {
             }
         }
         out
+    }
+
+    /// The series as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            ("cells", Json::Arr(self.cells.iter().map(Cell::to_json).collect())),
+        ])
     }
 }
 
@@ -213,19 +231,79 @@ pub fn fig5c(levels: usize, threads: usize) -> Series {
     }
 }
 
+/// One configuration of the Fig. 6 register sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// `fp32` or `fp64`.
+    pub kernel: &'static str,
+    /// The max-register throttle applied to the kernel.
+    pub max_registers: usize,
+    /// Modelled kernel time in seconds.
+    pub kernel_time_s: f64,
+    /// Modelled occupancy in `[0, 1]`.
+    pub occupancy: f64,
+}
+
+/// Fig. 6 data: GPU time and occupancy vs the max-register throttle.
+#[derive(Debug, Clone)]
+pub struct Fig6Report {
+    /// Grid-search size of the model the sweep ran on.
+    pub grid_size: usize,
+    /// One row per (kernel, throttle) configuration.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6Report {
+    /// Render as the aligned text table the paper's figure tabulates.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig 6: GPU running time vs max registers (grid = {})",
+            self.grid_size
+        );
+        let _ = writeln!(out, "  {:<8} {:<10} {:>12} {:>12}", "kernel", "max regs", "time (s)", "occupancy");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<10} {:>12.4} {:>12.3}",
+                r.kernel, r.max_registers, r.kernel_time_s, r.occupancy
+            );
+        }
+        out
+    }
+
+    /// The sweep as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("grid_size", self.grid_size.into()),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("kernel", r.kernel.into()),
+                                ("max_registers", r.max_registers.into()),
+                                ("kernel_time_s", r.kernel_time_s.into()),
+                                ("occupancy", r.occupancy.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Fig. 6: GPU time and occupancy vs the max-register throttle, fp32 & fp64.
-pub fn fig6(levels: usize) -> String {
+pub fn fig6(levels: usize) -> Fig6Report {
     let w = predator_prey(levels);
     let mut runner =
         compile_and_load(&w.model, CompileConfig::default()).expect("compilation succeeds");
     let input = &w.inputs[0];
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== Fig 6: GPU running time vs max registers (grid = {})",
-        runner.compiled.grid_size
-    );
-    let _ = writeln!(out, "  {:<8} {:<10} {:>12} {:>12}", "kernel", "max regs", "time (s)", "occupancy");
+    let mut rows = Vec::new();
     for fp32 in [true, false] {
         for regs in [256usize, 128, 64, 32, 16] {
             let cfg = if fp32 {
@@ -234,29 +312,122 @@ pub fn fig6(levels: usize) -> String {
                 GpuConfig::default().with_max_registers(regs)
             };
             let r = runner.run_grid_gpu(input, &cfg).expect("gpu run");
-            let _ = writeln!(
-                out,
-                "  {:<8} {:<10} {:>12.4} {:>12.3}",
-                if fp32 { "fp32" } else { "fp64" },
-                regs,
-                r.kernel_time_s,
-                r.occupancy
-            );
+            rows.push(Fig6Row {
+                kernel: if fp32 { "fp32" } else { "fp64" },
+                max_registers: regs,
+                kernel_time_s: r.kernel_time_s,
+                occupancy: r.occupancy,
+            });
         }
     }
-    out
+    Fig6Report {
+        grid_size: runner.compiled.grid_size,
+        rows,
+    }
+}
+
+/// One opt level's breakdown within [`Fig7Model`].
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Optimization level label (`O0` … `O3`).
+    pub level: String,
+    /// Compilation seconds.
+    pub compile_s: f64,
+    /// Execution seconds for all trials.
+    pub exec_s: f64,
+    /// Trial-input construction seconds (measured separately like the
+    /// paper's stack).
+    pub input_constr_s: f64,
+    /// IR instructions after optimization.
+    pub instructions: usize,
+    /// Scheduler passes executed across the trials.
+    pub passes: u64,
+}
+
+/// One model's O0–O3 sweep within [`Fig7Report`].
+#[derive(Debug, Clone)]
+pub struct Fig7Model {
+    /// Model name.
+    pub name: String,
+    /// One row per optimization level.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// Fig. 7 data: compilation / execution breakdown at O0–O3.
+#[derive(Debug, Clone)]
+pub struct Fig7Report {
+    /// Trials each configuration executed.
+    pub trials: usize,
+    /// The models swept.
+    pub models: Vec<Fig7Model>,
+}
+
+impl Fig7Report {
+    /// Render as the indented text breakdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig 7: runtime breakdown at O0-O3");
+        for m in &self.models {
+            let _ = writeln!(out, "  -- {}", m.name);
+            for r in &m.rows {
+                let _ = writeln!(
+                    out,
+                    "    {:<3} compile {:>9.4}s  execute {:>9.4}s  input-constr {:>9.6}s  ({} IR instructions, {} trials, {} passes)",
+                    r.level, r.compile_s, r.exec_s, r.input_constr_s, r.instructions, self.trials, r.passes,
+                );
+            }
+        }
+        out
+    }
+
+    /// The breakdown as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trials", self.trials.into()),
+            (
+                "models",
+                Json::Arr(
+                    self.models
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::str(&m.name)),
+                                (
+                                    "rows",
+                                    Json::Arr(
+                                        m.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Json::obj([
+                                                    ("level", Json::str(&r.level)),
+                                                    ("compile_s", r.compile_s.into()),
+                                                    ("exec_s", r.exec_s.into()),
+                                                    ("input_constr_s", r.input_constr_s.into()),
+                                                    ("instructions", r.instructions.into()),
+                                                    ("passes", r.passes.into()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Fig. 7: compilation / execution time breakdown at O0–O3 for Predator-Prey
 /// (XL by default) and Multitasking.
-pub fn fig7(levels: usize, trials: usize) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "== Fig 7: runtime breakdown at O0-O3");
+pub fn fig7(levels: usize, trials: usize) -> Fig7Report {
+    let mut models = Vec::new();
     for (name, w) in [
         (format!("predator_prey_{levels}"), predator_prey(levels)),
         ("multitasking".to_string(), multitasking()),
     ] {
-        let _ = writeln!(out, "  -- {name}");
+        let mut rows = Vec::new();
         for level in OptLevel::all() {
             let t0 = Instant::now();
             let compiled = compile(
@@ -284,25 +455,100 @@ pub fn fig7(levels: usize, trials: usize) -> String {
             };
             let result = runner.run(&w.inputs, trials).expect("compiled run");
             let exec_s = t1.elapsed().as_secs_f64();
-            let _ = writeln!(
-                out,
-                "    {:<3} compile {:>9.4}s  execute {:>9.4}s  input-constr {:>9.6}s  ({} IR instructions, {} trials, {} passes)",
-                level.to_string(),
+            rows.push(Fig7Row {
+                level: level.to_string(),
                 compile_s,
                 exec_s,
-                input_construction,
-                insts,
-                trials,
-                result.passes.iter().sum::<u64>(),
+                input_constr_s: input_construction,
+                instructions: insts,
+                passes: result.passes.iter().sum::<u64>(),
+            });
+        }
+        models.push(Fig7Model { name, rows });
+    }
+    Fig7Report { trials, models }
+}
+
+/// One refinement round of [`Fig2Report`].
+#[derive(Debug, Clone)]
+pub struct Fig2Step {
+    /// Attention interval the round narrowed to.
+    pub param_lo: f64,
+    /// Upper end of the attention interval.
+    pub param_hi: f64,
+    /// Interval evaluation of the cost over that attention range (low end).
+    pub cost_lo: f64,
+    /// Interval evaluation of the cost over that attention range (high end).
+    pub cost_hi: f64,
+}
+
+/// Fig. 2 data: adaptive mesh refinement vs grid search.
+#[derive(Debug, Clone)]
+pub struct Fig2Report {
+    /// The per-round refinement trace.
+    pub trace: Vec<Fig2Step>,
+    /// Refinement rounds until convergence.
+    pub rounds: usize,
+    /// Final attention estimate.
+    pub estimate: f64,
+    /// Interval evaluations the analysis spent (vs ~100000 model runs for a
+    /// conventional grid search).
+    pub analysis_evaluations: usize,
+}
+
+impl Fig2Report {
+    /// Render as the per-step text trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig 2: mesh refinement vs grid search");
+        for (i, step) in self.trace.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  step {:>2}: attention in [{:.4}, {:.4}]  cost range [{:.2}, {:.2}]",
+                i, step.param_lo, step.param_hi, step.cost_lo, step.cost_hi
             );
         }
+        let _ = writeln!(
+            out,
+            "  estimate after {} rounds: attention ~= {:.3} using {} interval evaluations",
+            self.rounds, self.estimate, self.analysis_evaluations
+        );
+        let _ = writeln!(
+            out,
+            "  conventional grid search: 100 levels x ~1000 stochastic runs = ~100000 model executions"
+        );
+        out
     }
-    out
+
+    /// The refinement result as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rounds", self.rounds.into()),
+            ("estimate", self.estimate.into()),
+            ("analysis_evaluations", self.analysis_evaluations.into()),
+            (
+                "trace",
+                Json::Arr(
+                    self.trace
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("param_lo", s.param_lo.into()),
+                                ("param_hi", s.param_hi.into()),
+                                ("cost_lo", s.cost_lo.into()),
+                                ("cost_hi", s.cost_hi.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Fig. 2: adaptive mesh refinement vs grid search for the prey-attention
 /// parameter of the predator-prey cost surrogate.
-pub fn fig2() -> String {
+pub fn fig2() -> Fig2Report {
     use distill_ir::{FunctionBuilder, Module, Ty};
     // The compiled, pre-optimized evaluation function reduces (for a fixed
     // predator/player allocation) to a smooth cost curve in the prey
@@ -333,35 +579,71 @@ pub fn fig2() -> String {
         &[],
         analysis::MeshOptions::default(),
     );
-    let mut out = String::new();
-    let _ = writeln!(out, "== Fig 2: mesh refinement vs grid search");
-    for (i, step) in result.trace.iter().enumerate() {
+    Fig2Report {
+        trace: result
+            .trace
+            .iter()
+            .map(|step| Fig2Step {
+                param_lo: step.param.lo,
+                param_hi: step.param.hi,
+                cost_lo: step.cost.lo,
+                cost_hi: step.cost.hi,
+            })
+            .collect(),
+        rounds: result.rounds(),
+        estimate: result.estimate,
+        analysis_evaluations: result.analysis_evaluations,
+    }
+}
+
+/// Fig. 3 data: whole-model clone-detection verdict.
+#[derive(Debug, Clone)]
+pub struct Fig3Report {
+    /// Whether Extended Stroop A and B were proven equivalent.
+    pub equivalent: bool,
+    /// Instructions matched by the comparator.
+    pub matched_instructions: usize,
+    /// First mismatch description, when not equivalent.
+    pub mismatch: Option<String>,
+}
+
+impl Fig3Report {
+    /// Render the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig 3 / §4.4: clone detection");
         let _ = writeln!(
             out,
-            "  step {:>2}: attention in [{:.4}, {:.4}]  cost range [{:.2}, {:.2}]",
-            i, step.param.lo, step.param.hi, step.cost.lo, step.cost.hi
+            "  extended_stroop A ~ B (whole model, inlined): equivalent = {} ({} instructions matched{})",
+            self.equivalent,
+            self.matched_instructions,
+            self.mismatch
+                .as_ref()
+                .map(|m| format!(", first mismatch: {m}"))
+                .unwrap_or_default()
         );
+        out
     }
-    let _ = writeln!(
-        out,
-        "  estimate after {} rounds: attention ~= {:.3} using {} interval evaluations",
-        result.rounds(),
-        result.estimate,
-        result.analysis_evaluations
-    );
-    let _ = writeln!(
-        out,
-        "  conventional grid search: 100 levels x ~1000 stochastic runs = ~100000 model executions"
-    );
-    out
+
+    /// The verdict as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("equivalent", self.equivalent.into()),
+            ("matched_instructions", self.matched_instructions.into()),
+            (
+                "mismatch",
+                match &self.mismatch {
+                    Some(m) => Json::str(m),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
 }
 
 /// Fig. 3 / §4.4: clone detection results — LCA vs DDM node equivalence,
 /// Extended Stroop A vs B, Necker cube M vs its vectorized form.
-pub fn fig3() -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "== Fig 3 / §4.4: clone detection");
-
+pub fn fig3() -> Fig3Report {
     // Node-level: LCA with leak 0 vs DDM (reusing the analysis test shape).
     let a = extended_stroop_a();
     let b = extended_stroop_b();
@@ -375,18 +657,11 @@ pub fn fig3() -> String {
     renamed.name = "trial_b".into();
     let fb_in_a = merged.add_function(renamed);
     let report = analysis::functions_equivalent(&merged, fa, fb_in_a);
-    let _ = writeln!(
-        out,
-        "  extended_stroop A ~ B (whole model, inlined): equivalent = {} ({} instructions matched{})",
-        report.equivalent,
-        report.matched_instructions,
-        report
-            .mismatch
-            .as_ref()
-            .map(|m| format!(", first mismatch: {m}"))
-            .unwrap_or_default()
-    );
-    out
+    Fig3Report {
+        equivalent: report.equivalent,
+        matched_instructions: report.matched_instructions,
+        mismatch: report.mismatch.as_ref().map(|m| m.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -395,9 +670,13 @@ mod tests {
 
     #[test]
     fn fig2_locates_the_optimum_without_model_runs() {
-        let text = fig2();
+        let r = fig2();
+        assert_eq!(r.rounds, 7);
+        assert!((r.estimate - 4.6).abs() < 0.1, "optimum near 4.6: {}", r.estimate);
+        let text = r.render();
         assert!(text.contains("estimate after 7 rounds"));
         assert!(text.contains("interval evaluations"));
+        assert!(r.to_json().to_string().contains("\"rounds\":7"));
     }
 
     #[test]
@@ -421,7 +700,11 @@ mod tests {
 
     #[test]
     fn fig6_reports_occupancy_sweep() {
-        let text = fig6(4);
+        let r = fig6(4);
+        assert_eq!(r.rows.len(), 10, "5 register throttles x {{fp32, fp64}}");
+        assert!(r.rows.iter().any(|row| row.kernel == "fp32"));
+        assert!(r.rows.iter().any(|row| row.kernel == "fp64"));
+        let text = r.render();
         assert!(text.contains("fp32"));
         assert!(text.contains("fp64"));
         assert_eq!(text.matches('\n').count() >= 12, true);
