@@ -17,6 +17,14 @@ cargo test -q --workspace
 echo "== benches compile"
 cargo bench --no-run --workspace
 
+echo "== docs (warnings denied, so API-doc drift fails the gate)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== examples (release; exercises the Session/Runner API end to end)"
+cargo run --release --example quickstart
+cargo run --release --example predator_prey_attention
+cargo run --release --example model_analysis
+
 echo "== figures (reduced workloads, JSON to bench_results/)"
 cargo run --release -p distill-bench --bin figures
 

@@ -2,20 +2,24 @@
 //! (L/XL via `figures --fig 5a`).
 mod common;
 use criterion::Criterion;
-use distill::{compile_and_load, BaselineRunner, CompileConfig, ExecMode};
+use distill::{ExecMode, RunSpec, Session, Target};
 use distill_models::predator_prey;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5a_predator_prey_scaling");
     for levels in [2usize, 4] {
         let w = predator_prey(levels);
+        let spec = RunSpec::new(w.inputs.clone(), 1);
         g.bench_function(format!("CPython_levels{levels}"), |b| {
-            let runner = BaselineRunner::new(ExecMode::CPython);
-            b.iter(|| runner.run(&w.model, &w.inputs, 1).unwrap())
+            let mut runner = Session::new(&w.model)
+                .target(Target::Baseline(ExecMode::CPython))
+                .build()
+                .unwrap();
+            b.iter(|| runner.run(&spec).unwrap())
         });
         g.bench_function(format!("Distill_levels{levels}"), |b| {
-            let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-            b.iter(|| runner.run(&w.inputs, 1).unwrap())
+            let mut runner = Session::new(&w.model).build().unwrap();
+            b.iter(|| runner.run(&spec).unwrap())
         });
     }
     g.finish();

@@ -1,28 +1,30 @@
 //! Fig. 5b: per-node vs whole-model compilation of the Botvinick Stroop
-//! model.
+//! model, plus the batched whole-model path.
 mod common;
 use criterion::Criterion;
-use distill::{compile_and_load, CompileConfig, CompileMode};
+use distill::{CompileMode, RunSpec, Session};
 use distill_bench::scaled;
 use distill_models::botvinick_stroop;
 
 fn bench(c: &mut Criterion) {
     let w = scaled(botvinick_stroop(), 0.1);
+    let spec = RunSpec::new(w.inputs.clone(), w.trials);
     let mut g = c.benchmark_group("fig5b_stroop_compilation_scope");
     g.bench_function("per_node", |b| {
-        let mut runner = compile_and_load(
-            &w.model,
-            CompileConfig {
-                mode: CompileMode::PerNode,
-                ..CompileConfig::default()
-            },
-        )
-        .unwrap();
-        b.iter(|| runner.run(&w.inputs, w.trials).unwrap())
+        let mut runner = Session::new(&w.model)
+            .mode(CompileMode::PerNode)
+            .build()
+            .unwrap();
+        b.iter(|| runner.run(&spec).unwrap())
     });
     g.bench_function("whole_model", |b| {
-        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-        b.iter(|| runner.run(&w.inputs, w.trials).unwrap())
+        let mut runner = Session::new(&w.model).build().unwrap();
+        b.iter(|| runner.run(&spec).unwrap())
+    });
+    g.bench_function("whole_model_batched", |b| {
+        let mut runner = Session::new(&w.model).build().unwrap();
+        let batched = spec.clone().with_batch(w.trials.max(1));
+        b.iter(|| runner.run(&batched).unwrap())
     });
     g.finish();
 }

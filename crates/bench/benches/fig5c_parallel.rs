@@ -2,21 +2,35 @@
 //! predator-prey grid search (reduced grid; the XL grid is `figures --fig 5c`).
 mod common;
 use criterion::Criterion;
-use distill::{compile_and_load, CompileConfig, GpuConfig};
+use distill::{compile, CompileConfig, GpuConfig, RunSpec, Session, Target};
 use distill_models::predator_prey;
 
 fn bench(c: &mut Criterion) {
     let w = predator_prey(8); // 512 evaluations per trial
-    let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-    let input = w.inputs[0].clone();
+    let spec = RunSpec::new(w.inputs.clone(), 1);
+    // Target is a run-time knob: compile once, build one runner per target.
+    let artifact = compile(&w.model, CompileConfig::default()).unwrap();
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut g = c.benchmark_group("fig5c_parallel_grid");
-    g.bench_function("serial_trial", |b| b.iter(|| runner.run(&w.inputs, 1).unwrap()));
+    g.bench_function("serial_trial", |b| {
+        let mut runner = Session::new(&w.model)
+            .build_with(artifact.clone())
+            .unwrap();
+        b.iter(|| runner.run(&spec).unwrap())
+    });
     g.bench_function("mcpu_grid", |b| {
-        b.iter(|| runner.run_grid_multicore(&input, threads).unwrap())
+        let mut runner = Session::new(&w.model)
+            .target(Target::MultiCore { threads })
+            .build_with(artifact.clone())
+            .unwrap();
+        b.iter(|| runner.run(&spec).unwrap())
     });
     g.bench_function("gpu_grid_simulated", |b| {
-        b.iter(|| runner.run_grid_gpu(&input, &GpuConfig::default()).unwrap())
+        let mut runner = Session::new(&w.model)
+            .target(Target::Gpu(GpuConfig::default()))
+            .build_with(artifact.clone())
+            .unwrap();
+        b.iter(|| runner.run(&spec).unwrap())
     });
     g.finish();
 }

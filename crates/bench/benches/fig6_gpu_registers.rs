@@ -1,22 +1,32 @@
 //! Fig. 6: GPU kernel under different max-register throttles, fp32 and fp64.
 mod common;
 use criterion::Criterion;
-use distill::{compile_and_load, CompileConfig, GpuConfig};
+use distill::{compile, CompileConfig, GpuConfig, RunSpec, Session, Target};
 use distill_models::predator_prey;
 
 fn bench(c: &mut Criterion) {
     let w = predator_prey(6);
-    let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-    let input = w.inputs[0].clone();
+    // GpuConfig is a run-time knob: compile once, rebuild only the runner
+    // per throttle configuration.
+    let artifact = compile(&w.model, CompileConfig::default()).unwrap();
+    let spec = RunSpec::new(w.inputs.clone(), 1);
     let mut g = c.benchmark_group("fig6_gpu_register_throttle");
     for regs in [256usize, 64, 16] {
         g.bench_function(format!("fp64_regs{regs}"), |b| {
             let cfg = GpuConfig::default().with_max_registers(regs);
-            b.iter(|| runner.run_grid_gpu(&input, &cfg).unwrap())
+            let mut runner = Session::new(&w.model)
+                .target(Target::Gpu(cfg))
+                .build_with(artifact.clone())
+                .unwrap();
+            b.iter(|| runner.run(&spec).unwrap())
         });
         g.bench_function(format!("fp32_regs{regs}"), |b| {
             let cfg = GpuConfig::default().fp32().with_max_registers(regs);
-            b.iter(|| runner.run_grid_gpu(&input, &cfg).unwrap())
+            let mut runner = Session::new(&w.model)
+                .target(Target::Gpu(cfg))
+                .build_with(artifact.clone())
+                .unwrap();
+            b.iter(|| runner.run(&spec).unwrap())
         });
     }
     g.finish();

@@ -9,6 +9,7 @@
 //! figures --fig 5a|5b|5c # scaling / per-node / parallel (Fig. 5)
 //! figures --fig 6        # GPU register sweep (Fig. 6)
 //! figures --fig 7        # compilation cost breakdown (Fig. 7)
+//! figures --batched      # per-trial vs batched compiled execution
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
 //!
@@ -109,7 +110,7 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 8] = ["2", "3", "4", "5a", "5b", "5c", "6", "7"];
+    const FIGS: [&str; 9] = ["2", "3", "4", "5a", "5b", "5c", "6", "7", "batched"];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
     // reduced-scale default and get archived as if it were a paper-scale run.
@@ -122,7 +123,17 @@ fn main() {
             "--fig" => {
                 i += 1;
                 match args.get(i) {
-                    Some(f) if FIGS.contains(&f.as_str()) => fig = Some(f.clone()),
+                    Some(f) if FIGS.contains(&f.as_str()) => {
+                        if let Some(prev) = &fig {
+                            if prev != f {
+                                eprintln!(
+                                    "error: conflicting figure selection '{prev}' vs '{f}'"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                        fig = Some(f.clone());
+                    }
                     Some(f) => {
                         eprintln!(
                             "error: unknown figure '{f}' (expected one of {})",
@@ -152,9 +163,23 @@ fn main() {
             // compatibility with the old CLI (it is now the default).
             "--full" | "--all" => full = true,
             "--quick" => {}
+            // Shorthand for `--fig batched`: rerun the Fig. 2 model family's
+            // trial-throughput workload through the batched compiled path
+            // and emit the side-by-side JSON report. Conflicting figure
+            // selectors are an error, not last-wins — a run that silently
+            // drops a requested figure would corrupt the archive.
+            "--batched" => match &fig {
+                Some(f) if f != "batched" => {
+                    eprintln!("error: --batched conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("batched".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
-                eprintln!("usage: figures [--fig 2|3|4|5a|5b|5c|6|7] [--full] [--out DIR]");
+                eprintln!(
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched] [--batched] [--full] [--out DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -213,6 +238,13 @@ fn main() {
     if want("7") {
         emit.figure("fig7", || {
             let r = bench::fig7(if full { 20 } else { 4 }, 2);
+            (r.render(), r.to_json())
+        });
+    }
+    if want("batched") {
+        emit.figure("batched", || {
+            let (trials, batch) = if full { (2000, 64) } else { (300, 32) };
+            let r = bench::fig_batched(trials, batch);
             (r.render(), r.to_json())
         });
     }

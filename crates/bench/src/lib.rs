@@ -11,12 +11,12 @@
 
 use criterion::json::Json;
 use distill::{
-    analysis, compile, compile_and_load, time_baseline, time_distill, CompileConfig, CompileMode,
-    ExecMode, GpuConfig, Measurement, OptLevel,
+    analysis, compile, time_baseline, time_distill, CompileConfig, CompileMode, ExecMode,
+    GpuConfig, Measurement, OptLevel, RunSpec, Session, Target,
 };
 use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
-    predator_prey, Workload,
+    predator_prey, predator_prey_s, Workload,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -190,27 +190,46 @@ pub fn fig5b(trial_scale: f64) -> Series {
 }
 
 /// Fig. 5c: Predator-Prey XL grid search — single thread vs multicore vs
-/// (simulated) GPU. `levels` lets tests shrink the grid.
+/// (simulated) GPU, every configuration a [`Session`] target running the
+/// same one-trial [`RunSpec`]. `levels` lets tests shrink the grid.
+///
+/// Unlike the pre-Session harness (which timed the parallel backends' grid
+/// search in isolation), every cell now times a full trial through the
+/// uniform `run` contract — like the paper's figure. The parallel targets
+/// drive the scheduler per node, so their cells include that boundary
+/// crossing on top of the parallelized grid; with grids of 10³–10⁶
+/// evaluations the grid phase dominates.
 pub fn fig5c(levels: usize, threads: usize) -> Series {
     let w = predator_prey(levels);
-    let mut runner =
-        compile_and_load(&w.model, CompileConfig::default()).expect("compilation succeeds");
-    let input = &w.inputs[0];
-    let grid = runner.compiled.grid_size;
+    let spec = RunSpec::new(w.inputs.clone(), 1);
+    // Target is a run-time knob: compile once, build one runner per target.
+    let artifact =
+        compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let grid = artifact.grid_size;
 
+    let mut serial_runner = Session::new(&w.model)
+        .build_with(artifact.clone())
+        .expect("runner builds");
     let start = Instant::now();
-    let _ = runner.run(&w.inputs, 1).expect("serial trial");
+    let _ = serial_runner.run(&spec).expect("serial trial");
     let serial = start.elapsed().as_secs_f64();
 
+    let mut mcpu_runner = Session::new(&w.model)
+        .target(Target::MultiCore { threads })
+        .build_with(artifact.clone())
+        .expect("runner builds");
     let start = Instant::now();
-    let _ = runner
-        .run_grid_multicore(input, threads)
-        .expect("multicore grid");
+    let _ = mcpu_runner.run(&spec).expect("multicore grid");
     let mcpu = start.elapsed().as_secs_f64();
 
-    let gpu = runner
-        .run_grid_gpu(input, &GpuConfig::default())
-        .expect("gpu grid");
+    let gpu = Session::new(&w.model)
+        .target(Target::Gpu(GpuConfig::default()))
+        .build_with(artifact)
+        .expect("runner builds")
+        .run(&spec)
+        .expect("gpu grid")
+        .gpu
+        .expect("gpu target reports modelled timing");
 
     Series {
         title: format!("predator_prey grid={grid} parallel execution"),
@@ -300,9 +319,12 @@ impl Fig6Report {
 /// Fig. 6: GPU time and occupancy vs the max-register throttle, fp32 & fp64.
 pub fn fig6(levels: usize) -> Fig6Report {
     let w = predator_prey(levels);
-    let mut runner =
-        compile_and_load(&w.model, CompileConfig::default()).expect("compilation succeeds");
-    let input = &w.inputs[0];
+    // The GpuConfig is a run-time knob: compile once and rebuild only the
+    // (cheap) runner per configuration via `build_with`.
+    let artifact =
+        compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let grid_size = artifact.grid_size;
+    let spec = RunSpec::new(w.inputs.clone(), 1);
     let mut rows = Vec::new();
     for fp32 in [true, false] {
         for regs in [256usize, 128, 64, 32, 16] {
@@ -311,7 +333,14 @@ pub fn fig6(levels: usize) -> Fig6Report {
             } else {
                 GpuConfig::default().with_max_registers(regs)
             };
-            let r = runner.run_grid_gpu(input, &cfg).expect("gpu run");
+            let r = Session::new(&w.model)
+                .target(Target::Gpu(cfg))
+                .build_with(artifact.clone())
+                .expect("runner builds")
+                .run(&spec)
+                .expect("gpu run")
+                .gpu
+                .expect("gpu target reports modelled timing");
             rows.push(Fig6Row {
                 kernel: if fp32 { "fp32" } else { "fp64" },
                 max_registers: regs,
@@ -320,10 +349,7 @@ pub fn fig6(levels: usize) -> Fig6Report {
             });
         }
     }
-    Fig6Report {
-        grid_size: runner.compiled.grid_size,
-        rows,
-    }
+    Fig6Report { grid_size, rows }
 }
 
 /// One opt level's breakdown within [`Fig7Model`].
@@ -430,30 +456,27 @@ pub fn fig7(levels: usize, trials: usize) -> Fig7Report {
         let mut rows = Vec::new();
         for level in OptLevel::all() {
             let t0 = Instant::now();
-            let compiled = compile(
-                &w.model,
-                CompileConfig {
-                    opt_level: level,
-                    ..CompileConfig::default()
-                },
-            )
-            .expect("compilation succeeds");
+            let mut runner = Session::new(&w.model)
+                .opt_level(level)
+                .build()
+                .expect("compilation succeeds");
             let compile_s = t0.elapsed().as_secs_f64();
-            let insts = compiled.module.inst_count();
-            let mut runner =
-                distill::CompiledRunner::with_model(compiled, w.model.clone());
+            let insts = runner
+                .compiled()
+                .map(|c| c.module.inst_count())
+                .unwrap_or(0);
             let t1 = Instant::now();
             let input_construction: f64;
-            let _ = {
-                // Input construction = writing the trial inputs into the
-                // static arrays; measured separately like the paper's stack.
+            let spec = {
+                // Input construction = assembling the run spec the driver
+                // writes into the static arrays; measured separately like
+                // the paper's stack.
                 let t = Instant::now();
-                for i in 0..trials {
-                    let _ = &w.inputs[i % w.inputs.len()];
-                }
+                let spec = RunSpec::new(w.inputs.clone(), trials);
                 input_construction = t.elapsed().as_secs_f64();
+                spec
             };
-            let result = runner.run(&w.inputs, trials).expect("compiled run");
+            let result = runner.run(&spec).expect("compiled run");
             let exec_s = t1.elapsed().as_secs_f64();
             rows.push(Fig7Row {
                 level: level.to_string(),
@@ -467,6 +490,107 @@ pub fn fig7(levels: usize, trials: usize) -> Fig7Report {
         models.push(Fig7Model { name, rows });
     }
     Fig7Report { trials, models }
+}
+
+/// Side-by-side comparison of per-trial engine re-entry vs batched compiled
+/// execution on the Fig. 2 model family (predator-prey attention).
+#[derive(Debug, Clone)]
+pub struct BatchedReport {
+    /// Model name.
+    pub model: String,
+    /// Trials executed by each side.
+    pub trials: usize,
+    /// Batch size of the batched side (trials per engine entry).
+    pub batch: usize,
+    /// Wall-clock seconds with one engine entry per trial (`batch = 1`).
+    pub per_trial_s: f64,
+    /// Wall-clock seconds through the `trials_batch` entry point.
+    pub batched_s: f64,
+    /// `per_trial_s / batched_s`.
+    pub speedup: f64,
+    /// Engine calls (including nested compiled calls) on the per-trial side.
+    pub per_trial_engine_calls: u64,
+    /// Engine calls on the batched side.
+    pub batched_engine_calls: u64,
+    /// Whether both sides produced identical outputs and pass counts.
+    pub outputs_match: bool,
+}
+
+impl BatchedReport {
+    /// Render the side-by-side text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Batched: per-trial re-entry vs trials_batch ({}, {} trials)",
+            self.model, self.trials
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12.6} s   ({} engine calls)",
+            "per-trial (batch=1)", self.per_trial_s, self.per_trial_engine_calls
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12.6} s   ({} engine calls)",
+            format!("batched (batch={})", self.batch),
+            self.batched_s,
+            self.batched_engine_calls
+        );
+        let _ = writeln!(
+            out,
+            "  speedup: x{:.3}   outputs identical: {}",
+            self.speedup, self.outputs_match
+        );
+        out
+    }
+
+    /// The comparison as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", Json::str(&self.model)),
+            ("trials", self.trials.into()),
+            ("batch", self.batch.into()),
+            ("per_trial_s", self.per_trial_s.into()),
+            ("batched_s", self.batched_s.into()),
+            ("speedup", self.speedup.into()),
+            ("per_trial_engine_calls", self.per_trial_engine_calls.into()),
+            ("batched_engine_calls", self.batched_engine_calls.into()),
+            ("outputs_match", self.outputs_match.into()),
+        ])
+    }
+}
+
+/// Run the Fig. 2 model family's trial-throughput workload twice — once
+/// re-entering the engine per trial, once through the compiled
+/// `trials_batch` entry point — and report the side-by-side timing.
+pub fn fig_batched(trials: usize, batch: usize) -> BatchedReport {
+    let w = predator_prey_s();
+    let spec = RunSpec::new(w.inputs.clone(), trials);
+
+    let mut per_trial = Session::new(&w.model).build().expect("compilation succeeds");
+    let start = Instant::now();
+    let a = per_trial.run(&spec).expect("per-trial run");
+    let per_trial_s = start.elapsed().as_secs_f64();
+    let per_trial_engine_calls = per_trial.engine().map(|e| e.stats().calls).unwrap_or(0);
+
+    let mut batched = Session::new(&w.model).build().expect("compilation succeeds");
+    let start = Instant::now();
+    let b = batched.run(&spec.clone().with_batch(batch)).expect("batched run");
+    let batched_s = start.elapsed().as_secs_f64();
+    let batched_engine_calls = batched.engine().map(|e| e.stats().calls).unwrap_or(0);
+
+    BatchedReport {
+        model: w.model.name.clone(),
+        trials,
+        batch,
+        per_trial_s,
+        batched_s,
+        speedup: per_trial_s / batched_s.max(1e-12),
+        per_trial_engine_calls,
+        batched_engine_calls,
+        outputs_match: a.outputs == b.outputs && a.passes == b.passes,
+    }
 }
 
 /// One refinement round of [`Fig2Report`].
@@ -696,6 +820,17 @@ mod tests {
         let s = fig5c(6, 4);
         assert_eq!(s.cells.len(), 3);
         assert!(s.cells.iter().all(|c| c.result.is_ok()));
+    }
+
+    #[test]
+    fn batched_figure_is_equivalent_and_renders() {
+        let r = fig_batched(24, 8);
+        assert!(r.outputs_match, "batched path must be bit-identical");
+        assert!(r.per_trial_s > 0.0 && r.batched_s > 0.0);
+        let text = r.render();
+        assert!(text.contains("per-trial"));
+        assert!(text.contains("batch=8"));
+        assert!(r.to_json().to_string().contains("\"outputs_match\":true"));
     }
 
     #[test]

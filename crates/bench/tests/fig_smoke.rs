@@ -9,8 +9,8 @@
 //! bench body at reduced size instead.
 
 use distill::{
-    compile_and_load, time_baseline, time_distill, BaselineRunner, CompileConfig, CompileMode,
-    ExecMode, GpuConfig, Measurement,
+    time_baseline, time_distill, CompileConfig, CompileMode, ExecMode, GpuConfig, Measurement,
+    RunSpec, Session, Target,
 };
 use distill_bench as bench;
 use distill_models::{botvinick_stroop, necker_cube_s, predator_prey};
@@ -53,26 +53,32 @@ fn fig4_workload_runs_per_environment() {
 fn fig5a_workload_scales_baseline_vs_distill() {
     // Mirrors benches/fig5a_scaling.rs on the S variant only.
     let w = predator_prey(2);
-    let baseline = BaselineRunner::new(ExecMode::CPython);
-    baseline.run(&w.model, &w.inputs, 1).expect("baseline trial");
-    let mut runner = compile_and_load(&w.model, CompileConfig::default()).expect("compile");
-    runner.run(&w.inputs, 1).expect("compiled trial");
+    let spec = RunSpec::new(w.inputs.clone(), 1);
+    Session::new(&w.model)
+        .target(Target::Baseline(ExecMode::CPython))
+        .build()
+        .expect("baseline build")
+        .run(&spec)
+        .expect("baseline trial");
+    Session::new(&w.model)
+        .build()
+        .expect("compile")
+        .run(&spec)
+        .expect("compiled trial");
 }
 
 #[test]
 fn fig5b_workload_compiles_both_scopes() {
     // Mirrors benches/fig5b_per_node.rs at a twentieth of the trial count.
     let w = bench::scaled(botvinick_stroop(), 0.05);
+    let spec = RunSpec::new(w.inputs.clone(), w.trials);
     for mode in [CompileMode::PerNode, CompileMode::WholeModel] {
-        let mut runner = compile_and_load(
-            &w.model,
-            CompileConfig {
-                mode,
-                ..CompileConfig::default()
-            },
-        )
-        .expect("compile");
-        runner.run(&w.inputs, w.trials).expect("compiled trial");
+        Session::new(&w.model)
+            .mode(mode)
+            .build()
+            .expect("compile")
+            .run(&spec)
+            .expect("compiled trial");
     }
 }
 
@@ -115,12 +121,25 @@ fn fig7_workload_breaks_down_compile_cost() {
 
 #[test]
 fn gpu_grid_runs_with_fp32_and_throttle() {
-    // The fig6 bench exercises custom GpuConfigs through run_grid_gpu; keep
+    // The fig6 bench exercises custom GpuConfigs through Target::Gpu; keep
     // that path under test too.
     let w = predator_prey(2);
-    let mut runner = compile_and_load(&w.model, CompileConfig::default()).expect("compile");
     let cfg = GpuConfig::default().fp32().with_max_registers(32);
-    let report = runner.run_grid_gpu(&w.inputs[0], &cfg).expect("gpu run");
+    let report = Session::new(&w.model)
+        .target(Target::Gpu(cfg))
+        .build()
+        .expect("compile")
+        .run(&RunSpec::new(w.inputs.clone(), 1))
+        .expect("gpu run")
+        .gpu
+        .expect("gpu target reports modelled timing");
     assert!(report.total_time_s > 0.0);
     assert!(report.occupancy > 0.0 && report.occupancy <= 1.0);
+}
+
+#[test]
+fn batched_workload_runs() {
+    let r = bench::fig_batched(12, 4);
+    assert!(r.outputs_match);
+    assert!(r.per_trial_s > 0.0 && r.batched_s > 0.0);
 }

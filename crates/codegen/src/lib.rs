@@ -60,6 +60,11 @@ pub struct CompileConfig {
     /// Model seed; must match the baseline runner's seed for bit-identical
     /// stochastic results.
     pub seed: u64,
+    /// Capacity (in trials) of the batched entry point's staging buffers.
+    /// Whole-model compilation emits a `trials_batch(start, count)` function
+    /// that executes up to this many trials per engine entry; drivers chunk
+    /// larger batch requests. `0` disables the batched entry point.
+    pub batch_capacity: usize,
 }
 
 impl Default for CompileConfig {
@@ -68,6 +73,7 @@ impl Default for CompileConfig {
             mode: CompileMode::WholeModel,
             opt_level: OptLevel::O2,
             seed: 0xD15_711,
+            batch_capacity: 64,
         }
     }
 }
@@ -176,6 +182,15 @@ pub struct CompiledModel {
     /// The whole-trial function (whole-model mode only); takes the trial
     /// index as its single `i64` parameter.
     pub trial_func: Option<FuncId>,
+    /// The batched entry point `trials_batch(start, count)` (whole-model mode
+    /// with a non-zero [`CompileConfig::batch_capacity`]): runs `count`
+    /// consecutive trials starting at trial index `start` without leaving
+    /// compiled code, reading per-trial inputs from the `batch_ext` staging
+    /// global and writing per-trial outputs/pass counts to `batch_out` /
+    /// `batch_passes`.
+    pub batch_func: Option<FuncId>,
+    /// Trials the batched staging buffers can hold per engine entry.
+    pub batch_capacity: usize,
     /// The grid-evaluation kernel `grid_eval(index) -> cost`, present when
     /// the model has a controller.
     pub eval_func: Option<FuncId>,
@@ -222,6 +237,13 @@ pub mod global_names {
     pub const EVAL_CTRL: &str = "eval_ctrl";
     /// Tie-breaking PRNG state for the reservoir argmin.
     pub const TIEBREAK_RNG: &str = "tiebreak_rng";
+    /// Staging area for batched execution: `batch_capacity` consecutive
+    /// trials' external inputs, laid out as `trial-in-batch * ext_len`.
+    pub const BATCH_EXT: &str = "batch_ext";
+    /// Batched per-trial outputs: `trial-in-batch * trial_output_len`.
+    pub const BATCH_OUT: &str = "batch_out";
+    /// Batched per-trial scheduler pass counts.
+    pub const BATCH_PASSES: &str = "batch_passes";
 }
 
 struct Globals {
@@ -241,6 +263,9 @@ struct Globals {
     eval_rng: GlobalId,
     eval_ctrl: GlobalId,
     tiebreak_rng: GlobalId,
+    batch_ext: GlobalId,
+    batch_out: GlobalId,
+    batch_passes: GlobalId,
     levels: Vec<GlobalId>,
     global_tys: Vec<Ty>,
 }
@@ -268,7 +293,21 @@ pub fn compile(model: &Composition, config: CompileConfig) -> Result<CompiledMod
     let _ = shape_info;
     let layout = Layout::build(model);
     let mut module = Module::new(format!("distill_{}", model.name));
-    let globals = declare_globals(&mut module, model, &layout, config.seed);
+    // Batch staging buffers only exist where a batched entry point will: in
+    // whole-model mode with a non-zero capacity (per-node artifacts get
+    // 1-slot placeholders so the engine carries no dead buffer memory).
+    let effective_batch_capacity = if config.mode == CompileMode::WholeModel {
+        config.batch_capacity
+    } else {
+        0
+    };
+    let globals = declare_globals(
+        &mut module,
+        model,
+        &layout,
+        config.seed,
+        effective_batch_capacity,
+    );
 
     // --- node functions (both variants) ------------------------------------
     let mut node_funcs = Vec::with_capacity(model.mechanisms.len());
@@ -303,6 +342,17 @@ pub fn compile(model: &Composition, config: CompileConfig) -> Result<CompiledMod
         None
     };
 
+    // --- batched entry point -----------------------------------------------
+    let batch_func = match trial_func {
+        Some(trial_fid) if config.batch_capacity > 0 => Some(gen_batch_fn(
+            &mut module,
+            &layout,
+            &globals,
+            trial_fid,
+        )?),
+        _ => None,
+    };
+
     distill_ir::verify::verify_module(&module)
         .map_err(|e| CodegenError(format!("generated IR failed verification: {e}")))?;
 
@@ -316,6 +366,12 @@ pub fn compile(model: &Composition, config: CompileConfig) -> Result<CompiledMod
         layout,
         node_funcs,
         trial_func,
+        batch_func,
+        batch_capacity: if batch_func.is_some() {
+            config.batch_capacity
+        } else {
+            0
+        },
         eval_func,
         grid_size,
         opt_stats,
@@ -323,7 +379,13 @@ pub fn compile(model: &Composition, config: CompileConfig) -> Result<CompiledMod
     })
 }
 
-fn declare_globals(module: &mut Module, model: &Composition, layout: &Layout, seed: u64) -> Globals {
+fn declare_globals(
+    module: &mut Module,
+    model: &Composition,
+    layout: &Layout,
+    seed: u64,
+    batch_capacity: usize,
+) -> Globals {
     let f64_arr = |n: usize| Ty::array(Ty::F64, n.max(1));
     let i64_arr = |n: usize| Ty::array(Ty::I64, n.max(1));
     let n_nodes = model.mechanisms.len();
@@ -402,6 +464,21 @@ fn declare_globals(module: &mut Module, model: &Composition, layout: &Layout, se
     let eval_rng = module.add_zeroed_global(global_names::EVAL_RNG, i64_arr(1), true);
     let tiebreak_rng = module.add_zeroed_global(global_names::TIEBREAK_RNG, i64_arr(1), true);
 
+    // Staging buffers for the batched entry point. Sized by the compile-time
+    // batch capacity; drivers chunk longer runs into capacity-sized batches.
+    let batch_ext = module.add_zeroed_global(
+        global_names::BATCH_EXT,
+        f64_arr(batch_capacity * layout.ext_len),
+        true,
+    );
+    let batch_out = module.add_zeroed_global(
+        global_names::BATCH_OUT,
+        f64_arr(batch_capacity * layout.trial_output_len),
+        true,
+    );
+    let batch_passes =
+        module.add_zeroed_global(global_names::BATCH_PASSES, i64_arr(batch_capacity), true);
+
     // Per-signal constant level tables.
     let mut levels = Vec::new();
     if let Some(ctrl) = &model.controller {
@@ -439,6 +516,9 @@ fn declare_globals(module: &mut Module, model: &Composition, layout: &Layout, se
         eval_rng,
         eval_ctrl,
         tiebreak_rng,
+        batch_ext,
+        batch_out,
+        batch_passes,
         levels,
         global_tys,
     }
@@ -1162,6 +1242,103 @@ fn gen_trial_fn(
     Ok(fid)
 }
 
+/// Generate the batched entry point `trials_batch(start, count)`.
+///
+/// The function loops `count` trials inside compiled code: for each trial it
+/// copies that trial's external input from the `batch_ext` staging buffer
+/// into `ext_input`, invokes the whole-trial function with the absolute trial
+/// index `start + k` (so tie-break PRNG streams match the per-trial path
+/// exactly), and stores `trial_output` / `passes` into the per-trial slots of
+/// `batch_out` / `batch_passes`. Drivers make one engine entry per batch
+/// instead of one per trial.
+fn gen_batch_fn(
+    module: &mut Module,
+    layout: &Layout,
+    globals: &Globals,
+    trial_func: FuncId,
+) -> Result<FuncId, CodegenError> {
+    let fid = module.declare_function("trials_batch", vec![Ty::I64, Ty::I64], Ty::Void);
+    let sigs: Vec<(Vec<Ty>, Ty)> = module
+        .functions
+        .iter()
+        .map(|f| (f.params.clone(), f.ret_ty.clone()))
+        .collect();
+    let global_tys = globals.global_tys.clone();
+    let func = module.function_mut(fid);
+    let mut b = FunctionBuilder::new(func)
+        .with_global_types(global_tys)
+        .with_signatures(sigs);
+    let entry = b.create_block("entry");
+    b.switch_to_block(entry);
+    let start = b.param(0);
+    let count = b.param(1);
+    let zero_i = b.const_i64(0);
+    let one_i = b.const_i64(1);
+
+    let k_slot = b.alloca(Ty::I64);
+    b.store(k_slot, zero_i);
+    let header = b.create_block("batch.header");
+    let body = b.create_block("batch.body");
+    let exit = b.create_block("batch.exit");
+    b.br(header);
+
+    b.switch_to_block(header);
+    let k = b.load(k_slot);
+    let cont = b.cmp(distill_ir::CmpPred::ILt, k, count);
+    b.cond_br(cont, body, exit);
+
+    b.switch_to_block(body);
+    let k2 = b.load(k_slot);
+    // ext_input <- batch_ext[k * ext_len ..][.. ext_len]
+    if layout.ext_len > 0 {
+        let stride = b.const_i64(layout.ext_len as i64);
+        let base_off = b.imul(k2, stride);
+        for j in 0..layout.ext_len {
+            let j_c = b.const_i64(j as i64);
+            let off = b.iadd(base_off, j_c);
+            let sbase = b.global_addr(globals.batch_ext);
+            let sp = b.elem_addr(sbase, off);
+            let v = b.load(sp);
+            let dbase = b.global_addr(globals.ext_input);
+            let dp = b.const_elem_addr(dbase, j);
+            b.store(dp, v);
+        }
+    }
+    // Run the trial with its absolute index.
+    let trial_idx = b.iadd(start, k2);
+    b.call(trial_func, vec![trial_idx]);
+    // batch_out[k * trial_output_len ..] <- trial_output
+    if layout.trial_output_len > 0 {
+        let stride = b.const_i64(layout.trial_output_len as i64);
+        let base_off = b.imul(k2, stride);
+        for j in 0..layout.trial_output_len {
+            let sbase = b.global_addr(globals.trial_output);
+            let sp = b.const_elem_addr(sbase, j);
+            let v = b.load(sp);
+            let j_c = b.const_i64(j as i64);
+            let off = b.iadd(base_off, j_c);
+            let dbase = b.global_addr(globals.batch_out);
+            let dp = b.elem_addr(dbase, off);
+            b.store(dp, v);
+        }
+    }
+    // batch_passes[k] <- passes[0]
+    let pbase = b.global_addr(globals.passes);
+    let pp = b.const_elem_addr(pbase, 0);
+    let pv = b.load(pp);
+    let bpbase = b.global_addr(globals.batch_passes);
+    let bpp = b.elem_addr(bpbase, k2);
+    b.store(bpp, pv);
+
+    let k3 = b.iadd(k2, one_i);
+    b.store(k_slot, k3);
+    b.br(header);
+
+    b.switch_to_block(exit);
+    b.ret(None);
+    Ok(fid)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1189,6 +1366,36 @@ mod tests {
         assert!(compiled.eval_func.is_none());
         distill_ir::verify::verify_module(&compiled.module).unwrap();
         assert!(compiled.opt_stats.total_changes() > 0);
+    }
+
+    #[test]
+    fn whole_model_emits_batch_entry_point() {
+        let model = chain_model();
+        let compiled = compile(&model, CompileConfig::default()).unwrap();
+        assert!(compiled.batch_func.is_some());
+        assert_eq!(compiled.batch_capacity, 64);
+        assert!(compiled.module.function_by_name("trials_batch").is_some());
+        // Capacity 0 disables the batched entry point.
+        let no_batch = compile(
+            &model,
+            CompileConfig {
+                batch_capacity: 0,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(no_batch.batch_func.is_none());
+        assert_eq!(no_batch.batch_capacity, 0);
+        // Per-node mode has no trial function and therefore nothing to batch.
+        let per_node = compile(
+            &model,
+            CompileConfig {
+                mode: CompileMode::PerNode,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(per_node.batch_func.is_none());
     }
 
     #[test]
@@ -1222,16 +1429,26 @@ mod tests {
 
     #[test]
     fn whole_model_optimization_reduces_code_size() {
+        // Compare without the batched entry point: inlining the trial body
+        // into `trials_batch` intentionally duplicates code.
         let model = chain_model();
         let o0 = compile(
             &model,
             CompileConfig {
                 opt_level: OptLevel::O0,
+                batch_capacity: 0,
                 ..CompileConfig::default()
             },
         )
         .unwrap();
-        let o2 = compile(&model, CompileConfig::default()).unwrap();
+        let o2 = compile(
+            &model,
+            CompileConfig {
+                batch_capacity: 0,
+                ..CompileConfig::default()
+            },
+        )
+        .unwrap();
         let size = |c: &CompiledModel| {
             c.module
                 .function(c.trial_func.unwrap())

@@ -2,26 +2,50 @@
 //!
 //! This crate ties the substrates together into the tool the paper
 //! describes: take a PsyNeuLink-style [`Composition`], compile it with
-//! domain-specific knowledge ([`compile`]), and execute the compiled model
-//! orders of magnitude faster than the dynamic baseline — on one core, on
-//! all cores, or on the (simulated) GPU — while also exposing the
-//! model-level analyses of §4 through the re-exported `analysis` module.
+//! domain-specific knowledge, and execute the compiled model orders of
+//! magnitude faster than the dynamic baseline — on one core, on all cores,
+//! or on the (simulated) GPU — while also exposing the model-level analyses
+//! of §4 through the re-exported `analysis` module.
 //!
 //! # Quickstart
 //!
+//! Execution is unified behind a [`Session`] builder and the [`Runner`]
+//! trait: pick a [`Target`], build, and run a [`RunSpec`]. Every backend —
+//! baseline interpreter, compiled single-core, multicore grid search,
+//! simulated GPU — answers the same contract with a [`RunResult`].
+//!
 //! ```
-//! use distill::{compile, CompileConfig, CompiledRunner};
+//! use distill::{RunSpec, Session, Target};
 //! use distill_models::predator_prey_s;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let workload = predator_prey_s();
-//! let compiled = compile(&workload.model, CompileConfig::default())?;
-//! let mut runner = CompiledRunner::new(compiled)?;
-//! let result = runner.run(&workload.inputs, 2)?;
+//!
+//! // Compiled, single core (the default target).
+//! let mut compiled = Session::new(&workload.model).build()?;
+//! let result = compiled.run(&RunSpec::new(workload.inputs.clone(), 2))?;
 //! assert_eq!(result.outputs.len(), 2);
+//!
+//! // The same trials through the dynamic baseline for comparison.
+//! let mut baseline = Session::new(&workload.model)
+//!     .target(Target::Baseline(distill::ExecMode::CPython))
+//!     .build()?;
+//! let reference = baseline.run(&RunSpec::new(workload.inputs.clone(), 2))?;
+//! assert_eq!(reference.outputs, result.outputs);
+//!
+//! // Batched: many trials per engine entry via the compiled
+//! // `trials_batch` entry point — same results, fewer boundary crossings.
+//! let mut batched = Session::new(&workload.model).build()?;
+//! let spec = RunSpec::new(workload.inputs.clone(), 2).with_batch(32);
+//! assert_eq!(batched.run(&spec)?.outputs, result.outputs);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Other targets: `Target::MultiCore { threads }` splits a controller's
+//! grid search across OS threads; `Target::Gpu(GpuConfig::default())` runs
+//! it on the simulated SIMT GPU and reports modelled timing in
+//! [`RunResult::gpu`].
 
 pub use distill_analysis as analysis;
 pub use distill_codegen::{compile, CompileConfig, CompileMode, CompiledModel};
@@ -30,22 +54,32 @@ pub use distill_exec::{Engine, GpuConfig, GpuRunReport, ParallelResult};
 pub use distill_opt::OptLevel;
 pub use distill_pyvm::ExecMode;
 
-use distill_cogmodel::composition::TrialEnd;
-use distill_cogmodel::runner::TrialInput;
-use distill_codegen::global_names as gn;
-use distill_exec::{gpu, mcpu, ExecError, Value};
+mod runner;
+mod session;
+
+pub use runner::{RunResult, RunSpec, Runner};
+pub use session::{Session, Target};
+
+/// One trial's external input: one vector per input node, in
+/// `Composition::input_nodes` order (re-exported from the cogmodel crate).
+pub use distill_cogmodel::runner::TrialInput;
+
+use distill_exec::ExecError;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Errors surfaced when driving a compiled model.
+/// Errors surfaced when building or driving a model.
 #[derive(Debug)]
 pub enum DistillError {
     /// Code generation failed.
     Codegen(distill_codegen::CodegenError),
     /// The execution engine failed.
     Exec(ExecError),
-    /// The request does not match the compiled artifact (e.g. asking for a
-    /// whole-model run of a per-node compilation).
+    /// The baseline interpreter failed (unsupported framework, simulated
+    /// OOM, exceeded budget, …).
+    Baseline(RunError),
+    /// The request does not match the model or artifact (empty inputs for a
+    /// non-zero trial count, wrong input arity, missing controller, …).
     Driver(String),
 }
 
@@ -54,6 +88,7 @@ impl fmt::Display for DistillError {
         match self {
             DistillError::Codegen(e) => write!(f, "{e}"),
             DistillError::Exec(e) => write!(f, "{e}"),
+            DistillError::Baseline(e) => write!(f, "{e}"),
             DistillError::Driver(m) => write!(f, "{m}"),
         }
     }
@@ -73,259 +108,58 @@ impl From<ExecError> for DistillError {
     }
 }
 
+impl From<RunError> for DistillError {
+    fn from(e: RunError) -> Self {
+        DistillError::Baseline(e)
+    }
+}
+
 /// Results of running a compiled model.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompiledRunResult {
-    /// Per trial, the concatenated output-node values at trial end.
-    pub outputs: Vec<Vec<f64>>,
-    /// Per trial, the number of scheduler passes executed.
-    pub passes: Vec<u64>,
-}
+#[deprecated(note = "use distill::RunResult (the Session/Runner API)")]
+pub type CompiledRunResult = RunResult;
 
-/// Drives a [`CompiledModel`] through the execution engine.
-#[derive(Debug, Clone)]
+/// Drives a compiled model through the execution engine.
+///
+/// Deprecated shim over the [`Session`]/[`Runner`] API: it is what
+/// [`Session::build`] gives you for [`Target::SingleCore`], minus the
+/// uniform contract. New code should build a runner instead.
+#[deprecated(note = "use distill::Session with Target::SingleCore")]
 pub struct CompiledRunner {
-    /// The compiled model.
-    pub compiled: CompiledModel,
-    /// The model the artifact was compiled from (needed by the per-node
-    /// driver, which keeps the scheduler outside the compiled code).
-    model: Composition,
-    engine: Engine,
+    driver: runner::CompiledDriver,
 }
 
+#[allow(deprecated)]
 impl CompiledRunner {
-    /// Create a runner, materializing the engine memory.
-    ///
-    /// # Errors
-    /// Returns [`DistillError::Driver`] if the compiled artifact has no model
-    /// attached (never happens through [`compile_and_load`]).
-    pub fn new(compiled: CompiledModel) -> Result<CompiledRunner, DistillError> {
-        Err(DistillError::Driver(
-            "use CompiledRunner::with_model or compile_and_load (the per-node driver needs the source model)"
-                .into(),
-        ))
-        .or_else(|_: DistillError| {
-            // Whole-model artifacts can be driven without the source model,
-            // but keeping one API is simpler; reconstructing from the module
-            // is not possible, so `new` is only valid for whole-model mode.
-            if compiled.trial_func.is_some() {
-                let engine = Engine::new(compiled.module.clone());
-                Ok(CompiledRunner {
-                    compiled,
-                    model: Composition::new("detached"),
-                    engine,
-                })
-            } else {
-                Err(DistillError::Driver(
-                    "per-node compilation requires CompiledRunner::with_model".into(),
-                ))
-            }
-        })
+    /// Create a runner from an artifact and the model it was compiled from.
+    pub fn with_model(compiled: CompiledModel, model: Composition) -> CompiledRunner {
+        CompiledRunner {
+            driver: runner::CompiledDriver::new(compiled, model),
+        }
     }
 
-    /// Create a runner that also keeps the source model (required for
-    /// per-node mode, harmless otherwise).
-    pub fn with_model(compiled: CompiledModel, model: Composition) -> CompiledRunner {
-        let engine = Engine::new(compiled.module.clone());
-        CompiledRunner {
-            compiled,
-            model,
-            engine,
-        }
+    /// The compiled artifact.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.driver.compiled
     }
 
     /// Borrow the engine (e.g. to inspect globals after a run).
     pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    fn write_trial_input(&mut self, input: &TrialInput) {
-        let mut flat = vec![0.0; self.compiled.layout.ext_len.max(1)];
-        for (pos, values) in input.iter().enumerate() {
-            // input_nodes order defines ext offsets.
-            if let Some(&node) = self.model_input_node(pos) {
-                if let Some(&off) = self.compiled.layout.ext_offsets.get(&node) {
-                    for (i, v) in values.iter().enumerate() {
-                        if off + i < flat.len() {
-                            flat[off + i] = *v;
-                        }
-                    }
-                }
-            } else {
-                // Detached whole-model runner: inputs are laid out in order.
-                let mut off = 0;
-                for prev in input.iter().take(pos) {
-                    off += prev.len();
-                }
-                for (i, v) in values.iter().enumerate() {
-                    if off + i < flat.len() {
-                        flat[off + i] = *v;
-                    }
-                }
-            }
-        }
-        self.engine.write_global_f64(gn::EXT_INPUT, &flat);
-    }
-
-    fn model_input_node(&self, pos: usize) -> Option<&usize> {
-        self.model.input_nodes.get(pos)
+        &self.driver.engine
     }
 
     /// Run `trials` trials, cycling through `inputs`.
     ///
     /// # Errors
-    /// Returns [`DistillError`] on engine failures.
+    /// Returns [`DistillError`] on spec mismatches or engine failures.
     pub fn run(
         &mut self,
         inputs: &[TrialInput],
         trials: usize,
-    ) -> Result<CompiledRunResult, DistillError> {
-        match self.compiled.trial_func {
-            Some(_) => self.run_whole_model(inputs, trials),
-            None => self.run_per_node(inputs, trials),
-        }
-    }
-
-    fn run_whole_model(
-        &mut self,
-        inputs: &[TrialInput],
-        trials: usize,
-    ) -> Result<CompiledRunResult, DistillError> {
-        let trial_fn = self
-            .compiled
-            .trial_func
-            .ok_or_else(|| DistillError::Driver("no whole-model trial function".into()))?;
-        let mut result = CompiledRunResult {
-            outputs: Vec::with_capacity(trials),
-            passes: Vec::with_capacity(trials),
-        };
-        for trial in 0..trials {
-            let input = &inputs[trial % inputs.len()];
-            self.write_trial_input(input);
-            self.engine.call(trial_fn, &[Value::I64(trial as i64)])?;
-            let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT);
-            result
-                .outputs
-                .push(out[..self.compiled.layout.trial_output_len].to_vec());
-            result.passes.push(self.engine.read_global_i64(gn::PASSES, 0) as u64);
-        }
-        Ok(result)
-    }
-
-    /// The per-node driver (Fig. 5b, `Distill-per-node`): node computations
-    /// run compiled, but the scheduler — readiness checks, pass loop, double
-    /// buffering, grid search driver — stays outside the compiled code and
-    /// crosses the engine boundary on every step.
-    fn run_per_node(
-        &mut self,
-        inputs: &[TrialInput],
-        trials: usize,
-    ) -> Result<CompiledRunResult, DistillError> {
-        use distill_cogmodel::Condition;
-        let layout = self.compiled.layout.clone();
-        let node_funcs = self.compiled.node_funcs.clone();
-        let topo = self
-            .model
-            .topological_order()
-            .map_err(|e| DistillError::Driver(e.to_string()))?;
-        let mut result = CompiledRunResult {
-            outputs: Vec::with_capacity(trials),
-            passes: Vec::with_capacity(trials),
-        };
-        for trial in 0..trials {
-            let input = &inputs[trial % inputs.len()];
-            self.write_trial_input(input);
-            // Reset read-write structures, exactly like the trial prologue.
-            let state_init = self.engine.read_global_f64(gn::STATE_INIT);
-            if self.model.reset_state_each_trial {
-                self.engine.write_global_f64(gn::STATE, &state_init);
-            }
-            let zeros = vec![0.0; layout.out_len.max(1)];
-            self.engine.write_global_f64(gn::OUT_CUR, &zeros);
-            self.engine.write_global_f64(gn::OUT_PREV, &zeros);
-            for i in 0..self.model.mechanisms.len() {
-                self.engine.write_global_i64(gn::COUNTERS, i, 0);
-            }
-
-            // Grid search driven from outside the compiled code.
-            if let (Some(ctrl), Some(eval_fn)) = (&self.model.controller, self.compiled.eval_func) {
-                let mut best = (0usize, f64::INFINITY);
-                for g in 0..ctrl.grid_size() {
-                    let cost = self
-                        .engine
-                        .call(eval_fn, &[Value::I64(g as i64)])?
-                        .as_f64()
-                        .unwrap_or(f64::INFINITY);
-                    if cost < best.1 {
-                        best = (g, cost);
-                    }
-                }
-                let alloc = ctrl.allocation(best.0);
-                for (s, level) in alloc.iter().enumerate() {
-                    let base = self
-                        .engine
-                        .module()
-                        .global_by_name(gn::CTRL_PARAMS)
-                        .expect("ctrl_params global exists");
-                    let _ = base;
-                    // Write element s of ctrl_params.
-                    let mut cur = self.engine.read_global_f64(gn::CTRL_PARAMS);
-                    cur[s] = *level;
-                    self.engine.write_global_f64(gn::CTRL_PARAMS, &cur);
-                }
-            }
-
-            // The pass loop, with a boundary crossing per node execution.
-            let mut pass: u64 = 0;
-            let mut calls = vec![0u64; self.model.mechanisms.len()];
-            loop {
-                for &node in &topo {
-                    let ready = match &self.model.mechanisms[node].condition {
-                        Condition::Always => true,
-                        Condition::Never => false,
-                        Condition::EveryNPasses(n) => *n != 0 && pass % n == 0,
-                        Condition::AfterNCalls { node: other, n } => calls[*other] >= *n,
-                        Condition::AtMostNCalls(n) => calls[node] < *n,
-                    };
-                    if !ready {
-                        continue;
-                    }
-                    self.engine.call(node_funcs[node], &[])?;
-                    calls[node] += 1;
-                    self.engine
-                        .write_global_i64(gn::COUNTERS, node, calls[node] as i64);
-                }
-                pass += 1;
-                let cur = self.engine.read_global_f64(gn::OUT_CUR);
-                self.engine.write_global_f64(gn::OUT_PREV, &cur);
-                let done = match &self.model.trial_end {
-                    TrialEnd::AfterNPasses(n) => pass >= *n,
-                    TrialEnd::Threshold {
-                        node,
-                        port,
-                        threshold,
-                        max_passes,
-                    } => {
-                        let off = layout.out_offset(*node, *port, 0);
-                        cur[off].abs() >= *threshold || pass >= *max_passes
-                    }
-                };
-                if done {
-                    break;
-                }
-            }
-            let cur = self.engine.read_global_f64(gn::OUT_CUR);
-            let mut out = Vec::new();
-            for &o in &self.model.output_nodes {
-                let size = self.model.mechanisms[o].output_sizes.first().copied().unwrap_or(0);
-                let base = layout.out_offset(o, 0, 0);
-                out.extend_from_slice(&cur[base..base + size]);
-            }
-            result.outputs.push(out);
-            result.passes.push(pass);
-            let _ = trial;
-        }
-        Ok(result)
+    ) -> Result<RunResult, DistillError> {
+        self.driver.run(
+            &RunSpec::new(inputs.to_vec(), trials),
+            &runner::GridStrategy::Serial,
+        )
     }
 
     /// Run the controller grid search of one trial across `threads` CPU
@@ -338,17 +172,10 @@ impl CompiledRunner {
         input: &TrialInput,
         threads: usize,
     ) -> Result<ParallelResult, DistillError> {
-        let eval_fn = self
-            .compiled
-            .eval_func
-            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
-        self.write_trial_input(input);
-        Ok(mcpu::parallel_argmin(
-            &self.engine,
-            eval_fn,
-            self.compiled.grid_size,
-            threads,
-        )?)
+        let (grid, _) = self
+            .driver
+            .grid_only(input, &runner::GridStrategy::MultiCore { threads })?;
+        grid.ok_or_else(|| DistillError::Driver("grid search produced no result".into()))
     }
 
     /// Run the controller grid search of one trial on the simulated GPU
@@ -361,24 +188,23 @@ impl CompiledRunner {
         input: &TrialInput,
         config: &GpuConfig,
     ) -> Result<GpuRunReport, DistillError> {
-        let eval_fn = self
-            .compiled
-            .eval_func
-            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
-        self.write_trial_input(input);
-        Ok(gpu::run_grid(
-            &self.engine,
-            eval_fn,
-            self.compiled.grid_size,
-            config,
-        )?)
+        let (_, gpu) = self
+            .driver
+            .grid_only(input, &runner::GridStrategy::Gpu(*config))?;
+        gpu.ok_or_else(|| DistillError::Driver("grid search produced no result".into()))
     }
 }
 
 /// Compile a model and attach a runner in one step.
 ///
+/// Deprecated shim over [`Session`]: equivalent to
+/// `Session::new(model).compile_config(config)` built for
+/// [`Target::SingleCore`].
+///
 /// # Errors
 /// Propagates [`DistillError::Codegen`] failures.
+#[deprecated(note = "use distill::Session::new(model).build()")]
+#[allow(deprecated)]
 pub fn compile_and_load(
     model: &Composition,
     config: CompileConfig,
@@ -407,6 +233,23 @@ impl Measurement {
     }
 }
 
+/// Build the session's runner, then time only the run of `spec` —
+/// compilation and engine setup are excluded from the measurement, matching
+/// the paper's warmup methodology. A build/compile failure is reported as
+/// [`Measurement::Failed`] just like a run failure.
+pub fn time_session(session: Session, spec: &RunSpec) -> Measurement {
+    match session.build() {
+        Ok(mut runner) => {
+            let start = Instant::now();
+            match runner.run(spec) {
+                Ok(_) => Measurement::Time(start.elapsed()),
+                Err(e) => Measurement::Failed(e.to_string()),
+            }
+        }
+        Err(e) => Measurement::Failed(e.to_string()),
+    }
+}
+
 /// Time a baseline run of `model` under `mode`.
 pub fn time_baseline(
     model: &Composition,
@@ -415,13 +258,11 @@ pub fn time_baseline(
     mode: ExecMode,
     eval_budget: Option<u64>,
 ) -> Measurement {
-    let mut runner = BaselineRunner::new(mode);
-    runner.eval_budget = eval_budget;
-    let start = Instant::now();
-    match runner.run(model, inputs, trials) {
-        Ok(_) => Measurement::Time(start.elapsed()),
-        Err(e) => Measurement::Failed(e.to_string()),
+    let mut session = Session::new(model).target(Target::Baseline(mode));
+    if let Some(budget) = eval_budget {
+        session = session.eval_budget(budget);
     }
+    time_session(session, &RunSpec::new(inputs.to_vec(), trials))
 }
 
 /// Time a Distill-compiled run (compilation excluded, matching the paper's
@@ -432,16 +273,10 @@ pub fn time_distill(
     trials: usize,
     config: CompileConfig,
 ) -> Measurement {
-    match compile_and_load(model, config) {
-        Ok(mut runner) => {
-            let start = Instant::now();
-            match runner.run(inputs, trials) {
-                Ok(_) => Measurement::Time(start.elapsed()),
-                Err(e) => Measurement::Failed(e.to_string()),
-            }
-        }
-        Err(e) => Measurement::Failed(e.to_string()),
-    }
+    time_session(
+        Session::new(model).compile_config(config),
+        &RunSpec::new(inputs.to_vec(), trials),
+    )
 }
 
 #[cfg(test)]
@@ -464,11 +299,14 @@ mod tests {
     #[test]
     fn compiled_whole_model_matches_baseline() {
         let (model, inputs) = chain_model();
-        let baseline = BaselineRunner::new(ExecMode::CPython)
-            .run(&model, &inputs, 4)
+        let spec = RunSpec::new(inputs, 4);
+        let baseline = Session::new(&model)
+            .target(Target::Baseline(ExecMode::CPython))
+            .build()
+            .unwrap()
+            .run(&spec)
             .unwrap();
-        let mut runner = compile_and_load(&model, CompileConfig::default()).unwrap();
-        let compiled = runner.run(&inputs, 4).unwrap();
+        let compiled = Session::new(&model).build().unwrap().run(&spec).unwrap();
         assert_eq!(baseline.outputs.len(), compiled.outputs.len());
         for (b, c) in baseline.outputs.iter().zip(&compiled.outputs) {
             for (x, y) in b.iter().zip(c) {
@@ -480,19 +318,66 @@ mod tests {
     #[test]
     fn per_node_mode_matches_whole_model() {
         let (model, inputs) = chain_model();
-        let mut whole = compile_and_load(&model, CompileConfig::default()).unwrap();
-        let mut per_node = compile_and_load(
-            &model,
-            CompileConfig {
-                mode: CompileMode::PerNode,
-                ..CompileConfig::default()
-            },
-        )
-        .unwrap();
-        let a = whole.run(&inputs, 3).unwrap();
-        let b = per_node.run(&inputs, 3).unwrap();
+        let spec = RunSpec::new(inputs, 3);
+        let a = Session::new(&model).build().unwrap().run(&spec).unwrap();
+        let b = Session::new(&model)
+            .mode(CompileMode::PerNode)
+            .build()
+            .unwrap()
+            .run(&spec)
+            .unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.passes, b.passes);
+    }
+
+    #[test]
+    fn batched_execution_matches_per_trial() {
+        let (model, inputs) = chain_model();
+        let per_trial = Session::new(&model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(inputs.clone(), 7))
+            .unwrap();
+        let batched = Session::new(&model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(inputs, 7).with_batch(3))
+            .unwrap();
+        assert_eq!(per_trial.outputs, batched.outputs);
+        assert_eq!(per_trial.passes, batched.passes);
+    }
+
+    #[test]
+    fn empty_inputs_fail_loudly_not_by_panic() {
+        let (model, _) = chain_model();
+        for target in [Target::SingleCore, Target::Baseline(ExecMode::CPython)] {
+            let err = Session::new(&model)
+                .target(target)
+                .build()
+                .unwrap()
+                .run(&RunSpec::new(vec![], 3))
+                .unwrap_err();
+            assert!(matches!(err, DistillError::Driver(_)), "{target:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn wrong_arity_inputs_fail_loudly() {
+        let (model, _) = chain_model();
+        // Three values for a 2-wide input node.
+        let err = Session::new(&model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(vec![vec![vec![1.0, 2.0, 3.0]]], 1))
+            .unwrap_err();
+        assert!(matches!(err, DistillError::Driver(_)), "{err}");
+        // Two port vectors for a single input node.
+        let err = Session::new(&model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(vec![vec![vec![1.0, 2.0], vec![3.0]]], 1))
+            .unwrap_err();
+        assert!(matches!(err, DistillError::Driver(_)), "{err}");
     }
 
     #[test]
@@ -507,18 +392,51 @@ mod tests {
     }
 
     #[test]
-    fn detached_runner_requires_whole_model() {
-        let (model, _) = chain_model();
-        let per_node = compile(
-            &model,
-            CompileConfig {
-                mode: CompileMode::PerNode,
-                ..CompileConfig::default()
-            },
-        )
-        .unwrap();
-        assert!(CompiledRunner::new(per_node).is_err());
-        let whole = compile(&model, CompileConfig::default()).unwrap();
-        assert!(CompiledRunner::new(whole).is_ok());
+    fn build_with_reuses_a_precompiled_artifact() {
+        let (model, inputs) = chain_model();
+        let artifact = compile(&model, CompileConfig::default()).unwrap();
+        let spec = RunSpec::new(inputs, 3);
+        let reused = Session::new(&model)
+            .build_with(artifact.clone())
+            .unwrap()
+            .run(&spec)
+            .unwrap();
+        let fresh = Session::new(&model).build().unwrap().run(&spec).unwrap();
+        assert_eq!(reused.outputs, fresh.outputs);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_grid_calls_reject_oversized_inputs() {
+        // Regression: `run_grid_multicore`/`run_grid_gpu` with a wrong-arity
+        // input used to panic inside input flattening; they must return a
+        // driver error like every other entry point.
+        let w = distill_models::predator_prey_s();
+        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
+        let oversized: TrialInput = vec![vec![0.5; 70]];
+        let err = runner.run_grid_multicore(&oversized, 2).unwrap_err();
+        assert!(matches!(err, DistillError::Driver(_)), "{err}");
+        let err = runner
+            .run_grid_gpu(&oversized, &GpuConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, DistillError::Driver(_)), "{err}");
+        // Well-formed inputs still work.
+        assert!(runner.run_grid_multicore(&w.inputs[0], 2).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let (model, inputs) = chain_model();
+        let mut shim = compile_and_load(&model, CompileConfig::default()).unwrap();
+        let via_shim = shim.run(&inputs, 2).unwrap();
+        let via_session = Session::new(&model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(inputs, 2))
+            .unwrap();
+        assert_eq!(via_shim.outputs, via_session.outputs);
+        assert!(shim.compiled().trial_func.is_some());
+        assert!(shim.engine().stats().instructions > 0);
     }
 }

@@ -1,0 +1,512 @@
+//! The unified execution contract: [`RunSpec`] in, [`RunResult`] out,
+//! whatever the backend.
+//!
+//! Every execution target — the dynamic baseline interpreter, the compiled
+//! whole-model and per-node drivers, the multicore grid-search driver and
+//! the simulated GPU — implements [`Runner`]. Backends are built from a
+//! [`crate::Session`]; the trait object hides which backend is running so
+//! benches, examples and tests can switch targets without changing the
+//! driving code.
+
+use crate::DistillError;
+use distill_cogmodel::composition::TrialEnd;
+use distill_cogmodel::runner::TrialInput;
+use distill_cogmodel::{BaselineRunner, Composition};
+use distill_codegen::global_names as gn;
+use distill_codegen::CompiledModel;
+use distill_exec::{gpu, mcpu, Engine, GpuConfig, GpuRunReport, ParallelResult, Value};
+
+/// What to execute: the trial inputs (cycled), how many trials, and how many
+/// trials a compiled backend may run per engine entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// One external input per trial, cycled when `trials > inputs.len()`.
+    pub inputs: Vec<TrialInput>,
+    /// Number of trials to execute.
+    pub trials: usize,
+    /// Trials per engine entry on compiled backends (`1` = re-enter the
+    /// engine per trial). Backends without a batched path — the baseline
+    /// interpreter, per-node drivers — execute trial-by-trial regardless;
+    /// results are identical either way.
+    pub batch: usize,
+}
+
+impl RunSpec {
+    /// A spec running `trials` trials with per-trial engine entry.
+    pub fn new(inputs: Vec<TrialInput>, trials: usize) -> RunSpec {
+        RunSpec {
+            inputs,
+            trials,
+            batch: 1,
+        }
+    }
+
+    /// Set the batch size (clamped to at least 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> RunSpec {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// Results of a run, uniform across backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Per trial, the concatenated output-node values at trial end.
+    pub outputs: Vec<Vec<f64>>,
+    /// Per trial, the number of scheduler passes executed.
+    pub passes: Vec<u64>,
+    /// Grid-search statistics of the last trial, when the multicore backend
+    /// parallelized a controller's grid search.
+    pub grid: Option<ParallelResult>,
+    /// The simulated GPU's report for the last trial, when running on
+    /// [`crate::Target::Gpu`].
+    pub gpu: Option<GpuRunReport>,
+}
+
+impl RunResult {
+    fn with_capacity(trials: usize) -> RunResult {
+        RunResult {
+            outputs: Vec::with_capacity(trials),
+            passes: Vec::with_capacity(trials),
+            grid: None,
+            gpu: None,
+        }
+    }
+}
+
+/// The single backend contract: execute a [`RunSpec`].
+///
+/// Obtain implementations through [`Session::build`](crate::Session::build).
+pub trait Runner {
+    /// Execute the spec.
+    ///
+    /// # Errors
+    /// [`DistillError::Driver`] when the spec does not match the model (no
+    /// inputs for a non-zero trial count, wrong input arity); backend errors
+    /// otherwise.
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult, DistillError>;
+
+    /// A short human-readable label of the backend (e.g. `single-core`).
+    fn target_label(&self) -> String;
+
+    /// The compiled artifact driving this backend, when there is one.
+    fn compiled(&self) -> Option<&CompiledModel> {
+        None
+    }
+
+    /// The execution engine, when the backend has one.
+    fn engine(&self) -> Option<&Engine> {
+        None
+    }
+}
+
+/// Validate a spec against the model before touching any engine memory:
+/// empty inputs with a non-zero trial count and wrong-arity inputs are
+/// driver errors, not panics or silent truncation.
+pub(crate) fn validate_spec(model: &Composition, spec: &RunSpec) -> Result<(), DistillError> {
+    if spec.trials > 0 && spec.inputs.is_empty() {
+        return Err(DistillError::Driver(format!(
+            "no trial inputs provided for a {}-trial run",
+            spec.trials
+        )));
+    }
+    for (t, input) in spec.inputs.iter().enumerate() {
+        if input.len() != model.input_nodes.len() {
+            return Err(DistillError::Driver(format!(
+                "trial input {t} has {} port vectors but the model has {} input nodes",
+                input.len(),
+                model.input_nodes.len()
+            )));
+        }
+        for (pos, values) in input.iter().enumerate() {
+            let node = model.input_nodes[pos];
+            let want = model.mechanisms[node]
+                .input_sizes
+                .first()
+                .copied()
+                .unwrap_or(0);
+            if values.len() != want {
+                return Err(DistillError::Driver(format!(
+                    "trial input {t}, input node {} ({}): expected {} values, got {}",
+                    node, model.mechanisms[node].name, want, values.len()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Baseline backend
+// ---------------------------------------------------------------------------
+
+/// The dynamic-interpreter backend ([`crate::Target::Baseline`]).
+pub(crate) struct BaselineBackend {
+    pub(crate) model: Composition,
+    pub(crate) runner: BaselineRunner,
+}
+
+impl Runner for BaselineBackend {
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult, DistillError> {
+        validate_spec(&self.model, spec)?;
+        if spec.trials == 0 {
+            return Ok(RunResult::with_capacity(0));
+        }
+        // The interpreter has no batched path; `spec.batch` is accepted (the
+        // contract is uniform) and results are identical for any batch size.
+        let r = self
+            .runner
+            .run(&self.model, &spec.inputs, spec.trials)
+            .map_err(DistillError::Baseline)?;
+        Ok(RunResult {
+            outputs: r.outputs,
+            passes: r.passes,
+            grid: None,
+            gpu: None,
+        })
+    }
+
+    fn target_label(&self) -> String {
+        format!("baseline:{}", self.runner.mode)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled backends
+// ---------------------------------------------------------------------------
+
+/// How a compiled backend executes a controller's grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum GridStrategy {
+    /// Inside the compiled trial function (whole-model) or as a serial
+    /// driver loop (per-node).
+    Serial,
+    /// Split across OS threads via [`mcpu::parallel_argmin`].
+    MultiCore {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// On the simulated SIMT GPU via [`gpu::run_grid`].
+    Gpu(GpuConfig),
+}
+
+/// Shared driver of every compiled backend: owns the artifact, the source
+/// model and the engine, and implements per-trial, batched and per-node
+/// execution over them.
+pub(crate) struct CompiledDriver {
+    pub(crate) compiled: CompiledModel,
+    pub(crate) model: Composition,
+    pub(crate) engine: Engine,
+}
+
+impl CompiledDriver {
+    pub(crate) fn new(compiled: CompiledModel, model: Composition) -> CompiledDriver {
+        let engine = Engine::new(compiled.module.clone());
+        CompiledDriver {
+            compiled,
+            model,
+            engine,
+        }
+    }
+
+    /// Flatten every distinct trial input into the `ext_input` layout once,
+    /// so per-trial (and per-batch) writes are a single memcpy-style global
+    /// write instead of a re-flattening.
+    fn flatten_inputs(&self, inputs: &[TrialInput]) -> Vec<Vec<f64>> {
+        let ext_len = self.compiled.layout.ext_len.max(1);
+        inputs
+            .iter()
+            .map(|input| {
+                let mut flat = vec![0.0; ext_len];
+                for (pos, values) in input.iter().enumerate() {
+                    if let Some(&node) = self.model.input_nodes.get(pos) {
+                        if let Some(&off) = self.compiled.layout.ext_offsets.get(&node) {
+                            flat[off..off + values.len()].copy_from_slice(values);
+                        }
+                    }
+                }
+                flat
+            })
+            .collect()
+    }
+
+    /// Run a spec with the given grid strategy. Whole-model artifacts with a
+    /// serial grid run the compiled trial (batched when `spec.batch > 1`);
+    /// everything else goes through the per-node driver, which keeps the
+    /// scheduler and grid search outside the compiled code.
+    pub(crate) fn run(
+        &mut self,
+        spec: &RunSpec,
+        grid: &GridStrategy,
+    ) -> Result<RunResult, DistillError> {
+        validate_spec(&self.model, spec)?;
+        if spec.trials == 0 {
+            return Ok(RunResult::with_capacity(0));
+        }
+        let flats = self.flatten_inputs(&spec.inputs);
+        match (self.compiled.trial_func, grid) {
+            (Some(trial_fn), GridStrategy::Serial) => self.run_whole(spec, &flats, trial_fn),
+            _ => self.run_per_node(spec, &flats, grid),
+        }
+    }
+
+    /// Whole-model execution: one compiled call per trial, or one per batch
+    /// through the generated `trials_batch` entry point.
+    fn run_whole(
+        &mut self,
+        spec: &RunSpec,
+        flats: &[Vec<f64>],
+        trial_fn: distill_ir::FuncId,
+    ) -> Result<RunResult, DistillError> {
+        let mut result = RunResult::with_capacity(spec.trials);
+        let capacity = self.compiled.batch_capacity;
+        let out_len = self.compiled.layout.trial_output_len;
+        if spec.batch > 1 && capacity > 0 {
+            let batch_fn = self
+                .compiled
+                .batch_func
+                .ok_or_else(|| DistillError::Driver("artifact has no batched entry point".into()))?;
+            let ext_stride = self.compiled.layout.ext_len;
+            let out_stride = out_len;
+            let mut done = 0usize;
+            while done < spec.trials {
+                let n = spec.batch.min(capacity).min(spec.trials - done);
+                // Stage the batch's inputs in one global write.
+                if ext_stride > 0 {
+                    let mut staging = vec![0.0; n * ext_stride];
+                    for k in 0..n {
+                        let flat = &flats[(done + k) % flats.len()];
+                        staging[k * ext_stride..(k + 1) * ext_stride]
+                            .copy_from_slice(&flat[..ext_stride]);
+                    }
+                    self.engine.write_global_f64(gn::BATCH_EXT, &staging);
+                }
+                self.engine.call(
+                    batch_fn,
+                    &[Value::I64(done as i64), Value::I64(n as i64)],
+                )?;
+                // Read only the chunk's slots, one global read each.
+                let outs = self
+                    .engine
+                    .read_global_f64_prefix(gn::BATCH_OUT, n * out_stride);
+                let passes = self.engine.read_global_f64_prefix(gn::BATCH_PASSES, n);
+                for k in 0..n {
+                    result
+                        .outputs
+                        .push(outs[k * out_stride..k * out_stride + out_len].to_vec());
+                    result.passes.push(passes[k] as u64);
+                }
+                done += n;
+            }
+        } else {
+            for trial in 0..spec.trials {
+                self.engine
+                    .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()]);
+                self.engine.call(trial_fn, &[Value::I64(trial as i64)])?;
+                let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT);
+                result.outputs.push(out[..out_len].to_vec());
+                result
+                    .passes
+                    .push(self.engine.read_global_i64(gn::PASSES, 0) as u64);
+            }
+        }
+        Ok(result)
+    }
+
+    /// The per-node driver (Fig. 5b, `Distill-per-node`): node computations
+    /// run compiled, but the scheduler — readiness checks, pass loop, double
+    /// buffering, grid-search driving — stays outside the compiled code and
+    /// crosses the engine boundary on every step. The grid search itself is
+    /// pluggable: serial, multicore, or simulated GPU.
+    fn run_per_node(
+        &mut self,
+        spec: &RunSpec,
+        flats: &[Vec<f64>],
+        grid: &GridStrategy,
+    ) -> Result<RunResult, DistillError> {
+        use distill_cogmodel::Condition;
+        let layout = self.compiled.layout.clone();
+        let node_funcs = self.compiled.node_funcs.clone();
+        let topo = self
+            .model
+            .topological_order()
+            .map_err(|e| DistillError::Driver(e.to_string()))?;
+        let mut result = RunResult::with_capacity(spec.trials);
+        for trial in 0..spec.trials {
+            self.engine
+                .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()]);
+            // Reset read-write structures, exactly like the trial prologue.
+            let state_init = self.engine.read_global_f64(gn::STATE_INIT);
+            if self.model.reset_state_each_trial {
+                self.engine.write_global_f64(gn::STATE, &state_init);
+            }
+            let zeros = vec![0.0; layout.out_len.max(1)];
+            self.engine.write_global_f64(gn::OUT_CUR, &zeros);
+            self.engine.write_global_f64(gn::OUT_PREV, &zeros);
+            for i in 0..self.model.mechanisms.len() {
+                self.engine.write_global_i64(gn::COUNTERS, i, 0);
+            }
+
+            // Grid search driven from outside the compiled code.
+            if let (Some(ctrl), Some(eval_fn)) = (&self.model.controller, self.compiled.eval_func)
+            {
+                let grid_size = ctrl.grid_size();
+                let best_index = match grid {
+                    GridStrategy::Serial => {
+                        let mut best = (0usize, f64::INFINITY);
+                        for g in 0..grid_size {
+                            let cost = self
+                                .engine
+                                .call(eval_fn, &[Value::I64(g as i64)])?
+                                .as_f64()
+                                .unwrap_or(f64::INFINITY);
+                            if cost < best.1 {
+                                best = (g, cost);
+                            }
+                        }
+                        best.0
+                    }
+                    GridStrategy::MultiCore { threads } => {
+                        let r = mcpu::parallel_argmin(&self.engine, eval_fn, grid_size, *threads)?;
+                        let best = r.best_index;
+                        result.grid = Some(r);
+                        best
+                    }
+                    GridStrategy::Gpu(config) => {
+                        let r = gpu::run_grid(&self.engine, eval_fn, grid_size, config)?;
+                        let best = r.best_index;
+                        result.gpu = Some(r);
+                        best
+                    }
+                };
+                let alloc = ctrl.allocation(best_index);
+                let mut cur = self.engine.read_global_f64(gn::CTRL_PARAMS);
+                for (s, level) in alloc.iter().enumerate() {
+                    cur[s] = *level;
+                }
+                self.engine.write_global_f64(gn::CTRL_PARAMS, &cur);
+            }
+
+            // The pass loop, with a boundary crossing per node execution.
+            let mut pass: u64 = 0;
+            let mut calls = vec![0u64; self.model.mechanisms.len()];
+            loop {
+                for &node in &topo {
+                    let ready = match &self.model.mechanisms[node].condition {
+                        Condition::Always => true,
+                        Condition::Never => false,
+                        Condition::EveryNPasses(n) => *n != 0 && pass % n == 0,
+                        Condition::AfterNCalls { node: other, n } => calls[*other] >= *n,
+                        Condition::AtMostNCalls(n) => calls[node] < *n,
+                    };
+                    if !ready {
+                        continue;
+                    }
+                    self.engine.call(node_funcs[node], &[])?;
+                    calls[node] += 1;
+                    self.engine
+                        .write_global_i64(gn::COUNTERS, node, calls[node] as i64);
+                }
+                pass += 1;
+                let cur = self.engine.read_global_f64(gn::OUT_CUR);
+                self.engine.write_global_f64(gn::OUT_PREV, &cur);
+                let done = match &self.model.trial_end {
+                    TrialEnd::AfterNPasses(n) => pass >= *n,
+                    TrialEnd::Threshold {
+                        node,
+                        port,
+                        threshold,
+                        max_passes,
+                    } => {
+                        let off = layout.out_offset(*node, *port, 0);
+                        cur[off].abs() >= *threshold || pass >= *max_passes
+                    }
+                };
+                if done {
+                    break;
+                }
+            }
+            let cur = self.engine.read_global_f64(gn::OUT_CUR);
+            let mut out = Vec::new();
+            for &o in &self.model.output_nodes {
+                let size = self.model.mechanisms[o]
+                    .output_sizes
+                    .first()
+                    .copied()
+                    .unwrap_or(0);
+                let base = layout.out_offset(o, 0, 0);
+                out.extend_from_slice(&cur[base..base + size]);
+            }
+            result.outputs.push(out);
+            result.passes.push(pass);
+        }
+        Ok(result)
+    }
+
+    /// Run only the grid search of one trial (legacy shim surface).
+    pub(crate) fn grid_only(
+        &mut self,
+        input: &TrialInput,
+        grid: &GridStrategy,
+    ) -> Result<(Option<ParallelResult>, Option<GpuRunReport>), DistillError> {
+        validate_spec(
+            &self.model,
+            &RunSpec::new(std::slice::from_ref(input).to_vec(), 1),
+        )?;
+        let eval_fn = self
+            .compiled
+            .eval_func
+            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
+        let flats = self.flatten_inputs(std::slice::from_ref(input));
+        self.engine.write_global_f64(gn::EXT_INPUT, &flats[0]);
+        match grid {
+            GridStrategy::MultiCore { threads } => {
+                let r = mcpu::parallel_argmin(
+                    &self.engine,
+                    eval_fn,
+                    self.compiled.grid_size,
+                    *threads,
+                )?;
+                Ok((Some(r), None))
+            }
+            GridStrategy::Gpu(config) => {
+                let r = gpu::run_grid(&self.engine, eval_fn, self.compiled.grid_size, config)?;
+                Ok((None, Some(r)))
+            }
+            // The serial grid never runs in isolation: it lives inside the
+            // whole-model trial function or the per-node driver's loop.
+            GridStrategy::Serial => Err(DistillError::Driver(
+                "grid-only execution requires a parallel grid strategy".into(),
+            )),
+        }
+    }
+}
+
+/// A compiled backend: the driver plus the grid strategy the target selects.
+pub(crate) struct CompiledBackend {
+    pub(crate) driver: CompiledDriver,
+    pub(crate) grid: GridStrategy,
+}
+
+impl Runner for CompiledBackend {
+    fn run(&mut self, spec: &RunSpec) -> Result<RunResult, DistillError> {
+        self.driver.run(spec, &self.grid)
+    }
+
+    fn target_label(&self) -> String {
+        match &self.grid {
+            GridStrategy::Serial => "single-core".into(),
+            GridStrategy::MultiCore { threads } => format!("multi-core:{threads}"),
+            GridStrategy::Gpu(_) => "gpu".into(),
+        }
+    }
+
+    fn compiled(&self) -> Option<&CompiledModel> {
+        Some(&self.driver.compiled)
+    }
+
+    fn engine(&self) -> Option<&Engine> {
+        Some(&self.driver.engine)
+    }
+}

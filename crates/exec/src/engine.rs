@@ -193,8 +193,26 @@ impl Engine {
             .module
             .global_by_name(name)
             .unwrap_or_else(|| panic!("unknown global {name}"));
-        let base = self.global_base[id.index()];
         let len = self.module.global(id).ty.slot_count();
+        self.read_global_f64_prefix(name, len)
+    }
+
+    /// Read only the first `len` slots of a global as `f64` values — the
+    /// cheap path for partially-filled staging buffers (e.g. a batch chunk
+    /// smaller than the staging capacity).
+    ///
+    /// # Panics
+    /// Panics if the global name is unknown or `len` exceeds its size.
+    pub fn read_global_f64_prefix(&self, name: &str, len: usize) -> Vec<f64> {
+        let id = self
+            .module
+            .global_by_name(name)
+            .unwrap_or_else(|| panic!("unknown global {name}"));
+        let base = self.global_base[id.index()];
+        assert!(
+            len <= self.module.global(id).ty.slot_count(),
+            "prefix of {len} slots exceeds global {name}"
+        );
         self.memory[base..base + len]
             .iter()
             .map(|s| match s {

@@ -15,9 +15,9 @@
 //! * a [module](Module) container with global variables,
 //! * an ergonomic [builder](builder::FunctionBuilder),
 //! * CFG utilities (predecessors/successors, dominator tree, natural loop
-//!   detection) in [`cfg`],
+//!   detection) in [`mod@cfg`],
 //! * a structural [verifier](verify::verify_function) and a textual
-//!   [printer](printer).
+//!   [printer].
 //!
 //! Memory is modelled in *slots* rather than bytes: every scalar (including
 //! pointers) occupies exactly one slot, an array of `n` elements occupies

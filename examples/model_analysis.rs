@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Clone detection (§4.4) ----------------------------------------------
+    // Analyses need only the compiled artifact, so `compile` is the right
+    // entry point here; to *execute* a model, build a `distill::Session`
+    // instead (see the quickstart example).
     let a = extended_stroop_a();
     let b = extended_stroop_b();
     let ca = compile(&a.model, CompileConfig::default())?;

@@ -1,9 +1,11 @@
 //! Integration: the compiled path reproduces the dynamic baseline exactly on
 //! every benchmark model that CPython can run, and the failure annotations of
-//! Fig. 4 appear in the right places.
+//! Fig. 4 appear in the right places — all through the `Session`/`Runner`
+//! API.
 
-use distill::{compile_and_load, BaselineRunner, CompileConfig, CompileMode, ExecMode};
-use distill_cogmodel::RunError;
+use distill::{
+    CompileMode, DistillError, ExecMode, GpuConfig, RunSpec, Session, Target,
+};
 use distill_models::*;
 
 fn assert_outputs_match(name: &str, a: &[Vec<f64>], b: &[Vec<f64>], tol: f64) {
@@ -30,13 +32,17 @@ fn compiled_matches_baseline_on_deterministic_models() {
         extended_stroop_b(),
     ] {
         let trials = 3.min(w.trials);
-        let baseline = BaselineRunner::new(ExecMode::CPython)
-            .run(&w.model, &w.inputs, trials)
+        let spec = RunSpec::new(w.inputs.clone(), trials);
+        let baseline = Session::new(&w.model)
+            .target(Target::Baseline(ExecMode::CPython))
+            .build()
+            .unwrap()
+            .run(&spec)
             .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.model.name));
-        let mut runner = compile_and_load(&w.model, CompileConfig::default())
-            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.model.name));
-        let compiled = runner
-            .run(&w.inputs, trials)
+        let compiled = Session::new(&w.model)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.model.name))
+            .run(&spec)
             .unwrap_or_else(|e| panic!("{}: compiled run failed: {e}", w.model.name));
         assert_outputs_match(&w.model.name, &baseline.outputs, &compiled.outputs, 1e-9);
         assert_eq!(
@@ -52,12 +58,14 @@ fn compiled_matches_baseline_on_stochastic_models() {
     // Predator-prey draws random observations per grid evaluation; the
     // compiled path replicates the PRNG streams so results match exactly.
     for w in [predator_prey_s(), predator_prey_m(), multitasking()] {
-        let trials = 2;
-        let baseline = BaselineRunner::new(ExecMode::CPython)
-            .run(&w.model, &w.inputs, trials)
+        let spec = RunSpec::new(w.inputs.clone(), 2);
+        let baseline = Session::new(&w.model)
+            .target(Target::Baseline(ExecMode::CPython))
+            .build()
+            .unwrap()
+            .run(&spec)
             .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", w.model.name));
-        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-        let compiled = runner.run(&w.inputs, trials).unwrap();
+        let compiled = Session::new(&w.model).build().unwrap().run(&spec).unwrap();
         assert_outputs_match(&w.model.name, &baseline.outputs, &compiled.outputs, 1e-9);
     }
 }
@@ -65,17 +73,14 @@ fn compiled_matches_baseline_on_stochastic_models() {
 #[test]
 fn per_node_and_whole_model_agree() {
     let w = botvinick_stroop();
-    let mut whole = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-    let mut per_node = compile_and_load(
-        &w.model,
-        CompileConfig {
-            mode: CompileMode::PerNode,
-            ..CompileConfig::default()
-        },
-    )
-    .unwrap();
-    let a = whole.run(&w.inputs, 3).unwrap();
-    let b = per_node.run(&w.inputs, 3).unwrap();
+    let spec = RunSpec::new(w.inputs.clone(), 3);
+    let a = Session::new(&w.model).build().unwrap().run(&spec).unwrap();
+    let b = Session::new(&w.model)
+        .mode(CompileMode::PerNode)
+        .build()
+        .unwrap()
+        .run(&spec)
+        .unwrap();
     assert_eq!(a.outputs, b.outputs);
 }
 
@@ -84,33 +89,67 @@ fn figure4_failure_annotations() {
     // PyTorch-backed multitasking is rejected by Pyston and PyPy.
     let w = multitasking();
     for mode in [ExecMode::Pyston, ExecMode::PyPy, ExecMode::PyPyNoJit] {
-        let err = BaselineRunner::new(mode)
-            .run(&w.model, &w.inputs, 1)
+        let err = Session::new(&w.model)
+            .target(Target::Baseline(mode))
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(w.inputs.clone(), 1))
             .unwrap_err();
-        assert!(matches!(err, RunError::UnsupportedFramework { .. }), "{mode:?}");
+        assert!(matches!(err, DistillError::Baseline(_)), "{mode:?}: {err}");
     }
     // The Botvinick Stroop workload exhausts the simulated PyPy trace budget.
     let w = botvinick_stroop();
-    let err = BaselineRunner::new(ExecMode::PyPy)
-        .run(&w.model, &w.inputs, w.trials)
+    let err = Session::new(&w.model)
+        .target(Target::Baseline(ExecMode::PyPy))
+        .build()
+        .unwrap()
+        .run(&RunSpec::new(w.inputs.clone(), w.trials))
         .unwrap_err();
-    assert!(matches!(err, RunError::OutOfMemory { .. }));
+    assert!(
+        matches!(
+            err,
+            DistillError::Baseline(distill::RunError::OutOfMemory { .. })
+        ),
+        "{err}"
+    );
     // ...but completes under CPython and under Distill.
-    assert!(BaselineRunner::new(ExecMode::CPython)
-        .run(&w.model, &w.inputs, 3)
+    assert!(Session::new(&w.model)
+        .target(Target::Baseline(ExecMode::CPython))
+        .build()
+        .unwrap()
+        .run(&RunSpec::new(w.inputs.clone(), 3))
         .is_ok());
 }
 
 #[test]
 fn parallel_grid_matches_serial_grid() {
     let w = predator_prey(4);
-    let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
-    let serial = runner.run_grid_multicore(&w.inputs[0], 1).unwrap();
-    let parallel = runner.run_grid_multicore(&w.inputs[0], 8).unwrap();
-    assert_eq!(serial.best_index, parallel.best_index);
-    assert_eq!(serial.best_cost, parallel.best_cost);
-    let gpu = runner
-        .run_grid_gpu(&w.inputs[0], &distill::GpuConfig::default())
+    let spec = RunSpec::new(w.inputs.clone(), 1);
+    let serial = Session::new(&w.model)
+        .target(Target::MultiCore { threads: 1 })
+        .build()
+        .unwrap()
+        .run(&spec)
         .unwrap();
-    assert_eq!(gpu.best_index, serial.best_index);
+    let parallel = Session::new(&w.model)
+        .target(Target::MultiCore { threads: 8 })
+        .build()
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    let s = serial.grid.expect("grid stats");
+    let p = parallel.grid.expect("grid stats");
+    assert_eq!(s.best_index, p.best_index);
+    assert_eq!(s.best_cost, p.best_cost);
+    // The full trial results agree too — the parallel grid commits the same
+    // allocation before the pass loop runs.
+    assert_eq!(serial.outputs, parallel.outputs);
+    let gpu = Session::new(&w.model)
+        .target(Target::Gpu(GpuConfig::default()))
+        .build()
+        .unwrap()
+        .run(&spec)
+        .unwrap();
+    assert_eq!(gpu.gpu.expect("gpu report").best_index, s.best_index);
+    assert_eq!(gpu.outputs, serial.outputs);
 }
