@@ -28,4 +28,16 @@ cargo run --release --example model_analysis
 echo "== figures (reduced workloads, JSON to bench_results/)"
 cargo run --release -p distill-bench --bin figures
 
+echo "== bench-diff (regression gate vs committed bench_results/baseline/)"
+# The BENCH trajectory consumer: per-figure elapsed times within a wide
+# wall-clock band, the interp figure's median within a MAD band, and the
+# predecoded-engine speedup gate (>= 2x over the reference interpreter).
+# The committed baseline records absolute timings from one machine; when
+# this gate moves to a much slower host, refresh the snapshot once with
+#   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
+# (the speedup gate is machine-independent and keeps guarding regardless).
+cargo run --release -p distill-bench --bin bench-diff -- \
+  bench_results/baseline/figures.json bench_results/figures.json \
+  --threshold 1.5 --min-seconds 0.1
+
 echo "CI OK"

@@ -1,10 +1,12 @@
-//! A minimal JSON value tree and serializer.
+//! A minimal JSON value tree, serializer and parser.
 //!
 //! The harness (and the `figures` binary in `distill-bench`) emit machine-
 //! readable timing reports; with no external crates available offline, this
 //! module provides the small subset of serde_json the reports need: build a
-//! [`Json`] tree, `to_string` it with correct escaping, and render non-finite
-//! floats as `null` so the output is always standards-compliant JSON.
+//! [`Json`] tree, `to_string` it with correct escaping, render non-finite
+//! floats as `null` so the output is always standards-compliant JSON — and
+//! [`Json::parse`] the reports back, which is what the `bench-diff`
+//! regression gate uses to compare archived snapshots across commits.
 
 use std::fmt;
 
@@ -42,6 +44,294 @@ impl Json {
             Json::Obj(pairs) => pairs.push((key.into(), value)),
             _ => panic!("Json::insert on a non-object"),
         }
+    }
+
+    /// Object field lookup (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    /// Returns a human-readable message (with a byte offset) on malformed
+    /// input or trailing garbage.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a low surrogate escape
+                                // must follow, and its value must actually
+                                // be one — anything else is an error, not a
+                                // silently-misdecoded character.
+                                if self.bytes[self.pos + 1..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.pos)
+                            })?);
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar. The input came in as &str,
+                    // so `pos` always sits on a character boundary and the
+                    // lead byte tells us the width — validate only those
+                    // bytes, not the whole remaining document.
+                    let width = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        // Called with `pos` on the 'u'; consumes it plus four hex digits,
+        // leaving `pos` on the final digit (the caller advances past it).
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        // from_str_radix tolerates a leading '+', so check digits directly.
+        if !self.bytes[start..end].iter().all(u8::is_ascii_hexdigit) {
+            return Err("invalid \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end - 1;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
     }
 }
 
@@ -178,5 +468,69 @@ mod tests {
     #[test]
     fn escapes_control_chars() {
         assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("3").unwrap(), Json::Num(3.0));
+        assert_eq!(Json::parse("-2.5e-3").unwrap(), Json::Num(-0.0025));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"figures":[{"figure":"fig2","elapsed_s":0.25,"ok":true}]}"#)
+            .unwrap();
+        let figs = v.get("figures").unwrap().as_arr().unwrap();
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].get("figure").unwrap().as_str(), Some("fig2"));
+        assert_eq!(figs[0].get("elapsed_s").unwrap().as_f64(), Some(0.25));
+        assert_eq!(figs[0].get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse(r#""a\"b\nc\u0041""#).unwrap(),
+            Json::str("a\"b\ncA")
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::str("\u{1F600}")
+        );
+        // A high surrogate must be followed by a real low surrogate.
+        assert!(Json::parse(r#""\ud800A""#).is_err());
+        assert!(Json::parse(r#""\ud800x""#).is_err());
+        // A lone low surrogate is not a scalar value either.
+        assert!(Json::parse(r#""\udc00""#).is_err());
+        // Signs are not hex digits, whatever from_str_radix thinks.
+        assert!(Json::parse(r#""\u+041""#).is_err());
+        assert!(Json::parse(r#""\u-041""#).is_err());
+    }
+
+    #[test]
+    fn round_trips_its_own_output() {
+        let original = Json::obj([
+            ("name", Json::str("fig \"quoted\"\n")),
+            ("cells", Json::from(vec![1.0f64, -2.5, 1e-9])),
+            ("nested", Json::obj([("null", Json::Null), ("b", false.into())])),
+        ]);
+        let reparsed = Json::parse(&original.to_string()).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
     }
 }

@@ -1,0 +1,250 @@
+//! Compare two archived `figures` JSON snapshots and fail on regressions —
+//! the BENCH trajectory consumer the ROADMAP asks for.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [options]
+//!   --threshold R           relative tolerance on per-figure elapsed time
+//!                           (default 1.5: fail only when > 2.5x baseline)
+//!   --min-seconds S         absolute slack added to the elapsed band
+//!                           (default 0.1 s; absorbs sub-figure jitter)
+//!   --mad-k K               MAD multiplier for median comparisons
+//!                           (default 6.0)
+//!   --min-interp-speedup X  required `interp` median speedup of the
+//!                           predecoded engine over the reference
+//!                           interpreter (default 2.0; 0 disables)
+//! ```
+//!
+//! Inputs are either a combined report (`{"figures": [...]}` as written by
+//! `figures` with no `--fig` selection) or a single per-figure record. Only
+//! figures present in the baseline are compared; a figure that disappeared
+//! from the current snapshot is itself a regression. Snapshots taken at
+//! different scales (`full_scale` mismatch) are refused outright — comparing
+//! them would be meaningless, not merely out of tolerance.
+//!
+//! Two kinds of checks run per figure:
+//!
+//! * **elapsed band** — the figure's wall-clock `elapsed_s` may grow to
+//!   `base * (1 + threshold) + min_seconds` before it counts as a
+//!   regression; wall-clock per figure is a single sample, so the band is
+//!   deliberately wide.
+//! * **median ± MAD band** — figures that archive robust statistics (the
+//!   `interp` before/after report) compare medians with a tolerance of
+//!   `max(threshold * base_median, mad_k * (base_mad + cur_mad))`. The
+//!   relative part honours `--threshold` because the archived absolute
+//!   medians depend on the machine the baseline was taken on; the
+//!   machine-independent interp check is the speedup gate.
+//!
+//! Exit status: 0 = within tolerance, 1 = regression(s), 2 = usage or
+//! parse errors.
+
+use criterion::json::Json;
+use std::process::exit;
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    min_seconds: f64,
+    mad_k: f64,
+    min_interp_speedup: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-diff BASELINE.json CURRENT.json [--threshold R] [--min-seconds S] \
+         [--mad-k K] [--min-interp-speedup X]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut opts = Options {
+        baseline: String::new(),
+        current: String::new(),
+        threshold: 1.5,
+        min_seconds: 0.1,
+        mad_k: 6.0,
+        min_interp_speedup: 2.0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> f64 {
+            *i += 1;
+            match args.get(*i).and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => v,
+                _ => usage(),
+            }
+        };
+        match args[i].as_str() {
+            "--threshold" => opts.threshold = flag_value(&mut i),
+            "--min-seconds" => opts.min_seconds = flag_value(&mut i),
+            "--mad-k" => opts.mad_k = flag_value(&mut i),
+            "--min-interp-speedup" => opts.min_interp_speedup = flag_value(&mut i),
+            other if other.starts_with("--") => usage(),
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    opts.baseline = paths.remove(0);
+    opts.current = paths.remove(0);
+    opts
+}
+
+fn load_records(path: &str) -> Vec<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot parse {path}: {e}");
+            exit(2);
+        }
+    };
+    // Combined report or a single per-figure record.
+    match doc.get("figures").and_then(Json::as_arr) {
+        Some(figs) => figs.to_vec(),
+        None if doc.get("figure").is_some() => vec![doc],
+        None => {
+            eprintln!("error: {path} is not a figures report");
+            exit(2);
+        }
+    }
+}
+
+fn figure_name(record: &Json) -> Option<&str> {
+    record.get("figure").and_then(Json::as_str)
+}
+
+fn find<'a>(records: &'a [Json], name: &str) -> Option<&'a Json> {
+    records.iter().find(|r| figure_name(r) == Some(name))
+}
+
+struct Verdicts {
+    lines: Vec<String>,
+    regressions: usize,
+}
+
+impl Verdicts {
+    fn check(&mut self, label: &str, base: f64, cur: f64, band: f64) {
+        let regressed = cur > base + band;
+        let delta = if base > 0.0 {
+            format!("{:+.1}%", (cur / base - 1.0) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        self.lines.push(format!(
+            "  {:<34} base {:>12.6}  cur {:>12.6}  ({delta:>8})  {}",
+            label,
+            base,
+            cur,
+            if regressed { "REGRESSION" } else { "ok" }
+        ));
+        if regressed {
+            self.regressions += 1;
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        self.lines.push(format!("  {message}  REGRESSION"));
+        self.regressions += 1;
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let baseline = load_records(&opts.baseline);
+    let current = load_records(&opts.current);
+    let mut v = Verdicts {
+        lines: Vec::new(),
+        regressions: 0,
+    };
+
+    for base in &baseline {
+        let Some(name) = figure_name(base) else {
+            continue;
+        };
+        let Some(cur) = find(&current, name) else {
+            v.fail(format!("figure '{name}' missing from current snapshot"));
+            continue;
+        };
+        let scale = |r: &Json| r.get("full_scale").and_then(Json::as_bool);
+        if scale(base) != scale(cur) {
+            eprintln!(
+                "error: figure '{name}' was archived at a different scale (full_scale \
+                 {:?} vs {:?}); refusing to compare",
+                scale(base),
+                scale(cur)
+            );
+            exit(2);
+        }
+
+        if let (Some(b), Some(c)) = (
+            base.get("elapsed_s").and_then(Json::as_f64),
+            cur.get("elapsed_s").and_then(Json::as_f64),
+        ) {
+            let band = b * opts.threshold + opts.min_seconds;
+            v.check(&format!("{name} elapsed_s"), b, c, band);
+        }
+
+        // Median ± MAD comparison for figures that archive robust stats.
+        if name == "interp" {
+            let stat = |r: &Json, key: &str| {
+                r.get("data").and_then(|d| d.get(key)).and_then(Json::as_f64)
+            };
+            if let (Some(bm), Some(cm)) = (
+                stat(base, "predecoded_median_s"),
+                stat(cur, "predecoded_median_s"),
+            ) {
+                let bmad = stat(base, "predecoded_mad_s").unwrap_or(0.0);
+                let cmad = stat(cur, "predecoded_mad_s").unwrap_or(0.0);
+                // Absolute per-trial medians vary with the machine the
+                // baseline was archived on, so the relative part of the band
+                // honours --threshold like the elapsed checks (the
+                // machine-independent check is the speedup gate below).
+                let band = (opts.threshold * bm).max(opts.mad_k * (bmad + cmad));
+                v.check("interp predecoded median", bm, cm, band);
+            }
+            if opts.min_interp_speedup > 0.0 {
+                match stat(cur, "speedup_median") {
+                    Some(s) if s >= opts.min_interp_speedup => v.lines.push(format!(
+                        "  {:<34} x{s:.3} (>= x{:.1})  ok",
+                        "interp speedup gate", opts.min_interp_speedup
+                    )),
+                    Some(s) => v.fail(format!(
+                        "interp speedup x{s:.3} below required x{:.1}",
+                        opts.min_interp_speedup
+                    )),
+                    None => v.fail("interp record lacks speedup_median".to_string()),
+                }
+            }
+            if let Some(data) = cur.get("data") {
+                if data.get("outputs_match").and_then(Json::as_bool) == Some(false) {
+                    v.fail("interp outputs diverged between engines".to_string());
+                }
+            }
+        }
+    }
+
+    println!(
+        "bench-diff: {} vs {} (threshold {:.2}, min-seconds {:.3}, mad-k {:.1})",
+        opts.baseline, opts.current, opts.threshold, opts.min_seconds, opts.mad_k
+    );
+    for line in &v.lines {
+        println!("{line}");
+    }
+    if v.regressions > 0 {
+        println!("bench-diff: {} regression(s) beyond tolerance", v.regressions);
+        exit(1);
+    }
+    println!("bench-diff: within tolerance");
+}

@@ -110,7 +110,7 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 9] = ["2", "3", "4", "5a", "5b", "5c", "6", "7", "batched"];
+    const FIGS: [&str; 10] = ["2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp"];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
     // reduced-scale default and get archived as if it were a paper-scale run.
@@ -175,10 +175,21 @@ fn main() {
                 }
                 _ => fig = Some("batched".to_string()),
             },
+            // Shorthand for `--fig interp`: the predecoded engine vs the
+            // retained reference interpreter on the Fig. 2 model family's
+            // trial-throughput workload (the interpreter-core before/after
+            // datapoint of the BENCH trajectory).
+            "--interp" => match &fig {
+                Some(f) if f != "interp" => {
+                    eprintln!("error: --interp conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("interp".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched] [--batched] [--full] [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp] [--batched] [--interp] [--full] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -225,8 +236,13 @@ fn main() {
     if want("5c") {
         emit.figure("fig5c", || {
             let levels = if full { 100 } else { 10 };
-            let s = bench::fig5c(levels, num_threads());
-            (s.render(), s.to_json())
+            let threads = num_threads();
+            let s = bench::fig5c(levels, threads);
+            // The thread-skew companion: static chunks vs work stealing on
+            // a grid whose evaluation cost grows with the index.
+            let skew = bench::fig5c_skew(if full { 512 } else { 96 }, threads);
+            let text = format!("{}{}", s.render(), skew.render());
+            (text, Json::obj([("grid", s.to_json()), ("skew", skew.to_json())]))
         });
     }
     if want("6") {
@@ -245,6 +261,13 @@ fn main() {
         emit.figure("batched", || {
             let (trials, batch) = if full { (2000, 64) } else { (300, 32) };
             let r = bench::fig_batched(trials, batch);
+            (r.render(), r.to_json())
+        });
+    }
+    if want("interp") {
+        emit.figure("interp", || {
+            let (trials, samples) = if full { (300, 25) } else { (60, 11) };
+            let r = bench::fig_interp(trials, samples);
             (r.render(), r.to_json())
         });
     }

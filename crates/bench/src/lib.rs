@@ -11,8 +11,9 @@
 
 use criterion::json::Json;
 use distill::{
-    analysis, compile, time_baseline, time_distill, CompileConfig, CompileMode, ExecMode,
-    GpuConfig, Measurement, OptLevel, RunSpec, Session, Target,
+    analysis, compile, global_names as gn, parallel_argmin, parallel_argmin_static,
+    time_baseline, time_distill, CompileConfig, CompileMode, Engine, ExecMode, GpuConfig,
+    Measurement, OptLevel, RunSpec, Session, Target, Value,
 };
 use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
@@ -593,6 +594,289 @@ pub fn fig_batched(trials: usize, batch: usize) -> BatchedReport {
     }
 }
 
+/// `figures --interp`: the predecoded hot-path engine against the retained
+/// IR-walking reference interpreter (the pre-predecode engine), on the
+/// Fig. 2 model family's trial-throughput workload. This is the BENCH
+/// trajectory's before/after datapoint for the interpreter core.
+#[derive(Debug, Clone)]
+pub struct InterpReport {
+    /// Model name.
+    pub model: String,
+    /// Trials per sample.
+    pub trials: usize,
+    /// Timed samples per side.
+    pub samples: usize,
+    /// Median seconds per trial, predecoded path.
+    pub predecoded_median_s: f64,
+    /// Scaled median absolute deviation, predecoded path.
+    pub predecoded_mad_s: f64,
+    /// Median seconds per trial, reference path.
+    pub reference_median_s: f64,
+    /// Scaled median absolute deviation, reference path.
+    pub reference_mad_s: f64,
+    /// `reference_median_s / predecoded_median_s`.
+    pub speedup_median: f64,
+    /// Register frames served from the predecoded engine's reuse pool.
+    pub frame_pool_hits: u64,
+    /// Engine calls made by the predecoded side (equal on both sides).
+    pub engine_calls: u64,
+    /// Whether both paths produced bit-identical trial outputs.
+    pub outputs_match: bool,
+}
+
+impl InterpReport {
+    /// Render the before/after table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Interp: predecoded engine vs reference interpreter ({}, {} trials x {} samples)",
+            self.model, self.trials, self.samples
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+            "reference (pre-PR)", self.reference_median_s, self.reference_mad_s
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+            "predecoded", self.predecoded_median_s, self.predecoded_mad_s
+        );
+        let _ = writeln!(
+            out,
+            "  median speedup: x{:.3}   outputs identical: {}   frame-pool hits: {}",
+            self.speedup_median, self.outputs_match, self.frame_pool_hits
+        );
+        out
+    }
+
+    /// The comparison as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", Json::str(&self.model)),
+            ("trials", self.trials.into()),
+            ("samples", self.samples.into()),
+            ("predecoded_median_s", self.predecoded_median_s.into()),
+            ("predecoded_mad_s", self.predecoded_mad_s.into()),
+            ("reference_median_s", self.reference_median_s.into()),
+            ("reference_mad_s", self.reference_mad_s.into()),
+            ("speedup_median", self.speedup_median.into()),
+            ("frame_pool_hits", self.frame_pool_hits.into()),
+            ("engine_calls", self.engine_calls.into()),
+            ("outputs_match", self.outputs_match.into()),
+        ])
+    }
+}
+
+/// Run the Fig. 2 model family's compiled trial workload on two engines
+/// over the same module — the predecoded hot path vs the retained reference
+/// interpreter — and report median/MAD per-trial times for both sides.
+pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
+    let w = predator_prey_s();
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let trial_fn = artifact.trial_func.expect("whole-model artifact has a trial function");
+    let ext_len = artifact.layout.ext_len.max(1);
+    let out_len = artifact.layout.trial_output_len;
+    // Flatten each distinct input once, through the same Layout helper the
+    // driver uses; a zero image stands in if the workload has no inputs.
+    let flats: Vec<Vec<f64>> = w
+        .inputs
+        .iter()
+        .map(|input| artifact.layout.flatten_input(&w.model.input_nodes, input))
+        .collect();
+    let zero_flat = vec![0.0; ext_len];
+
+    let mut fast = Engine::new(artifact.module.clone());
+    let mut slow = Engine::new(artifact.module.clone());
+
+    let run = |engine: &mut Engine, reference: bool| -> (f64, Vec<Vec<u64>>) {
+        let start = Instant::now();
+        let mut outs = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let flat = if flats.is_empty() {
+                &zero_flat
+            } else {
+                &flats[trial % flats.len()]
+            };
+            engine
+                .write_global_f64(gn::EXT_INPUT, flat)
+                .expect("ext_input exists");
+            let args = [Value::I64(trial as i64)];
+            let r = if reference {
+                engine.call_reference(trial_fn, &args)
+            } else {
+                engine.call(trial_fn, &args)
+            };
+            r.expect("trial executes");
+            let out = engine
+                .read_global_f64(gn::TRIAL_OUTPUT)
+                .expect("trial_output exists");
+            outs.push(out[..out_len].iter().map(|v| v.to_bits()).collect());
+        }
+        (start.elapsed().as_secs_f64(), outs)
+    };
+
+    let samples = samples.max(1);
+    let trials_f = trials.max(1) as f64;
+    let mut fast_samples = Vec::with_capacity(samples);
+    let mut slow_samples = Vec::with_capacity(samples);
+    let mut outputs_match = true;
+    for _ in 0..samples {
+        let (tf, of) = run(&mut fast, false);
+        let (ts, os) = run(&mut slow, true);
+        outputs_match &= of == os;
+        fast_samples.push(tf / trials_f);
+        slow_samples.push(ts / trials_f);
+    }
+    let f = criterion::stats::compute(&fast_samples, trials as u64, fast_samples.iter().sum());
+    let s = criterion::stats::compute(&slow_samples, trials as u64, slow_samples.iter().sum());
+    InterpReport {
+        model: w.model.name.clone(),
+        trials,
+        samples,
+        predecoded_median_s: f.median,
+        predecoded_mad_s: f.mad,
+        reference_median_s: s.median,
+        reference_mad_s: s.mad,
+        speedup_median: s.median / f.median.max(1e-15),
+        frame_pool_hits: fast.stats().frame_pool_hits,
+        engine_calls: fast.stats().calls,
+        outputs_match,
+    }
+}
+
+/// The Fig. 5c thread-skew measurement: static contiguous chunking vs the
+/// work-stealing scheduler on a grid whose evaluation cost grows with the
+/// index (the skew shape of the fig5c controllers).
+#[derive(Debug, Clone)]
+pub struct SkewReport {
+    /// Grid points evaluated.
+    pub grid_size: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds with static contiguous chunks.
+    pub static_s: f64,
+    /// Wall-clock seconds with work stealing.
+    pub stealing_s: f64,
+    /// `static_s / stealing_s`.
+    pub speedup: f64,
+    /// Chunk grabs beyond each worker's first under work stealing.
+    pub steals: u64,
+    /// Whether both schedulers agreed on the argmin (index and cost).
+    pub matches: bool,
+}
+
+impl SkewReport {
+    /// Render the comparison lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig 5c skew: static chunks vs work stealing (grid = {}, {} threads)",
+            self.grid_size, self.threads
+        );
+        let _ = writeln!(out, "  {:<24} {:>12.6} s", "static chunks", self.static_s);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12.6} s   ({} steals)",
+            "work stealing", self.stealing_s, self.steals
+        );
+        let _ = writeln!(
+            out,
+            "  speedup: x{:.3}   argmin identical: {}",
+            self.speedup, self.matches
+        );
+        out
+    }
+
+    /// The comparison as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("grid_size", self.grid_size.into()),
+            ("threads", self.threads.into()),
+            ("static_s", self.static_s.into()),
+            ("stealing_s", self.stealing_s.into()),
+            ("speedup", self.speedup.into()),
+            ("steals", self.steals.into()),
+            ("matches", self.matches.into()),
+        ])
+    }
+}
+
+/// Build a compiled evaluation kernel whose cost is `(i - opt)²` but whose
+/// *run time* grows linearly with `i` (busy-work loop of `i * work` steps):
+/// a statically-chunked sweep serializes on the thread owning the expensive
+/// tail while work stealing rebalances it.
+pub fn skewed_kernel(grid_size: usize, work: i64) -> (Engine, distill_ir::FuncId) {
+    use distill_ir::{CmpPred, FunctionBuilder, Module, Ty};
+    let mut m = Module::new("skew");
+    let fid = m.declare_function("eval", vec![Ty::I64], Ty::F64);
+    {
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to_block(entry);
+        let i = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let zf = b.const_f64(0.0);
+        b.br(header);
+        b.switch_to_block(header);
+        let j = b.empty_phi(Ty::I64);
+        let acc = b.empty_phi(Ty::F64);
+        b.add_phi_incoming(j, entry, zero);
+        b.add_phi_incoming(acc, entry, zf);
+        let w = b.const_i64(work);
+        let bound = b.imul(i, w);
+        let c = b.cmp(CmpPred::ILt, j, bound);
+        b.cond_br(c, body, exit);
+        b.switch_to_block(body);
+        let jf = b.sitofp(j);
+        let acc2 = b.fadd(acc, jf);
+        let j2 = b.iadd(j, one);
+        b.add_phi_incoming(j, body, j2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to_block(exit);
+        // The busy-work is observable (accumulated) but weighted out of the
+        // argmin, which depends only on the distance to the optimum.
+        let fi = b.sitofp(i);
+        let opt = b.const_f64((grid_size as f64) * 2.0 / 3.0);
+        let d = b.fsub(fi, opt);
+        let sq = b.fmul(d, d);
+        let zw = b.const_f64(0.0);
+        let junk = b.fmul(acc, zw);
+        let r = b.fadd(sq, junk);
+        b.ret(Some(r));
+    }
+    (Engine::new(m), fid)
+}
+
+/// Time the skewed grid under both schedulers.
+pub fn fig5c_skew(grid_size: usize, threads: usize) -> SkewReport {
+    let (engine, fid) = skewed_kernel(grid_size, 64);
+    let start = Instant::now();
+    let stat = parallel_argmin_static(&engine, fid, grid_size, threads).expect("static grid");
+    let static_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let steal = parallel_argmin(&engine, fid, grid_size, threads).expect("stealing grid");
+    let stealing_s = start.elapsed().as_secs_f64();
+    SkewReport {
+        grid_size,
+        threads,
+        static_s,
+        stealing_s,
+        speedup: static_s / stealing_s.max(1e-12),
+        steals: steal.steals,
+        matches: stat.best_index == steal.best_index
+            && stat.best_cost.to_bits() == steal.best_cost.to_bits(),
+    }
+}
+
 /// One refinement round of [`Fig2Report`].
 #[derive(Debug, Clone)]
 pub struct Fig2Step {
@@ -831,6 +1115,32 @@ mod tests {
         assert!(text.contains("per-trial"));
         assert!(text.contains("batch=8"));
         assert!(r.to_json().to_string().contains("\"outputs_match\":true"));
+    }
+
+    #[test]
+    fn interp_comparison_is_bit_identical_and_renders() {
+        let r = fig_interp(8, 3);
+        assert!(r.outputs_match, "predecoded path must be bit-identical");
+        assert!(r.predecoded_median_s > 0.0 && r.reference_median_s > 0.0);
+        assert!(r.frame_pool_hits > 0, "frames must be pooled: {r:?}");
+        assert!(r.engine_calls > 0);
+        let text = r.render();
+        assert!(text.contains("predecoded"));
+        assert!(text.contains("reference (pre-PR)"));
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"speedup_median\":"));
+        assert!(json.contains("\"frame_pool_hits\":"));
+        assert!(json.contains("\"outputs_match\":true"));
+    }
+
+    #[test]
+    fn skew_report_agrees_across_schedulers() {
+        let r = fig5c_skew(48, 4);
+        assert!(r.matches, "schedulers must agree on the argmin: {r:?}");
+        assert!(r.static_s > 0.0 && r.stealing_s > 0.0);
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"steals\":"));
+        assert!(r.render().contains("work stealing"));
     }
 
     #[test]

@@ -166,6 +166,24 @@ impl Layout {
     pub fn out_offset(&self, node: usize, port: usize, index: usize) -> usize {
         self.out_offsets[node][port] + index
     }
+
+    /// Flatten one trial's external input (one value vector per input node,
+    /// in `input_nodes` order) into the `ext_input` buffer layout: a
+    /// zero-filled vector of `ext_len.max(1)` slots with each input node's
+    /// values copied to its offset. The single definition the drivers,
+    /// benches and differential tests all share — anything that stages
+    /// inputs by hand must match what compiled code reads.
+    pub fn flatten_input(&self, input_nodes: &[usize], input: &[Vec<f64>]) -> Vec<f64> {
+        let mut flat = vec![0.0; self.ext_len.max(1)];
+        for (pos, values) in input.iter().enumerate() {
+            if let Some(&node) = input_nodes.get(pos) {
+                if let Some(&off) = self.ext_offsets.get(&node) {
+                    flat[off..off + values.len()].copy_from_slice(values);
+                }
+            }
+        }
+        flat
+    }
 }
 
 /// The product of compilation: the IR module, the layout, and handles to the

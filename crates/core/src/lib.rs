@@ -48,9 +48,12 @@
 //! [`RunResult::gpu`].
 
 pub use distill_analysis as analysis;
-pub use distill_codegen::{compile, CompileConfig, CompileMode, CompiledModel};
+pub use distill_codegen::{compile, global_names, CompileConfig, CompileMode, CompiledModel};
 pub use distill_cogmodel::{BaselineRunner, Composition, RunError};
-pub use distill_exec::{Engine, GpuConfig, GpuRunReport, ParallelResult};
+pub use distill_exec::{
+    parallel_argmin, parallel_argmin_static, serial_argmin, Engine, EngineStats, ExecError,
+    GpuConfig, GpuRunReport, ParallelResult, Value,
+};
 pub use distill_opt::OptLevel;
 pub use distill_pyvm::ExecMode;
 
@@ -64,7 +67,6 @@ pub use session::{Session, Target};
 /// `Composition::input_nodes` order (re-exported from the cogmodel crate).
 pub use distill_cogmodel::runner::TrialInput;
 
-use distill_exec::ExecError;
 use std::fmt;
 use std::time::{Duration, Instant};
 

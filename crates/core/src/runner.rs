@@ -214,19 +214,12 @@ impl CompiledDriver {
     /// so per-trial (and per-batch) writes are a single memcpy-style global
     /// write instead of a re-flattening.
     fn flatten_inputs(&self, inputs: &[TrialInput]) -> Vec<Vec<f64>> {
-        let ext_len = self.compiled.layout.ext_len.max(1);
         inputs
             .iter()
             .map(|input| {
-                let mut flat = vec![0.0; ext_len];
-                for (pos, values) in input.iter().enumerate() {
-                    if let Some(&node) = self.model.input_nodes.get(pos) {
-                        if let Some(&off) = self.compiled.layout.ext_offsets.get(&node) {
-                            flat[off..off + values.len()].copy_from_slice(values);
-                        }
-                    }
-                }
-                flat
+                self.compiled
+                    .layout
+                    .flatten_input(&self.model.input_nodes, input)
             })
             .collect()
     }
@@ -280,7 +273,7 @@ impl CompiledDriver {
                         staging[k * ext_stride..(k + 1) * ext_stride]
                             .copy_from_slice(&flat[..ext_stride]);
                     }
-                    self.engine.write_global_f64(gn::BATCH_EXT, &staging);
+                    self.engine.write_global_f64(gn::BATCH_EXT, &staging)?;
                 }
                 self.engine.call(
                     batch_fn,
@@ -289,8 +282,8 @@ impl CompiledDriver {
                 // Read only the chunk's slots, one global read each.
                 let outs = self
                     .engine
-                    .read_global_f64_prefix(gn::BATCH_OUT, n * out_stride);
-                let passes = self.engine.read_global_f64_prefix(gn::BATCH_PASSES, n);
+                    .read_global_f64_prefix(gn::BATCH_OUT, n * out_stride)?;
+                let passes = self.engine.read_global_f64_prefix(gn::BATCH_PASSES, n)?;
                 for k in 0..n {
                     result
                         .outputs
@@ -302,13 +295,13 @@ impl CompiledDriver {
         } else {
             for trial in 0..spec.trials {
                 self.engine
-                    .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()]);
+                    .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()])?;
                 self.engine.call(trial_fn, &[Value::I64(trial as i64)])?;
-                let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT);
+                let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT)?;
                 result.outputs.push(out[..out_len].to_vec());
                 result
                     .passes
-                    .push(self.engine.read_global_i64(gn::PASSES, 0) as u64);
+                    .push(self.engine.read_global_i64(gn::PASSES, 0)? as u64);
             }
         }
         Ok(result)
@@ -335,17 +328,17 @@ impl CompiledDriver {
         let mut result = RunResult::with_capacity(spec.trials);
         for trial in 0..spec.trials {
             self.engine
-                .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()]);
+                .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()])?;
             // Reset read-write structures, exactly like the trial prologue.
-            let state_init = self.engine.read_global_f64(gn::STATE_INIT);
+            let state_init = self.engine.read_global_f64(gn::STATE_INIT)?;
             if self.model.reset_state_each_trial {
-                self.engine.write_global_f64(gn::STATE, &state_init);
+                self.engine.write_global_f64(gn::STATE, &state_init)?;
             }
             let zeros = vec![0.0; layout.out_len.max(1)];
-            self.engine.write_global_f64(gn::OUT_CUR, &zeros);
-            self.engine.write_global_f64(gn::OUT_PREV, &zeros);
+            self.engine.write_global_f64(gn::OUT_CUR, &zeros)?;
+            self.engine.write_global_f64(gn::OUT_PREV, &zeros)?;
             for i in 0..self.model.mechanisms.len() {
-                self.engine.write_global_i64(gn::COUNTERS, i, 0);
+                self.engine.write_global_i64(gn::COUNTERS, i, 0)?;
             }
 
             // Grid search driven from outside the compiled code.
@@ -369,6 +362,7 @@ impl CompiledDriver {
                     }
                     GridStrategy::MultiCore { threads } => {
                         let r = mcpu::parallel_argmin(&self.engine, eval_fn, grid_size, *threads)?;
+                        self.engine.record_steals(r.steals);
                         let best = r.best_index;
                         result.grid = Some(r);
                         best
@@ -381,11 +375,11 @@ impl CompiledDriver {
                     }
                 };
                 let alloc = ctrl.allocation(best_index);
-                let mut cur = self.engine.read_global_f64(gn::CTRL_PARAMS);
+                let mut cur = self.engine.read_global_f64(gn::CTRL_PARAMS)?;
                 for (s, level) in alloc.iter().enumerate() {
                     cur[s] = *level;
                 }
-                self.engine.write_global_f64(gn::CTRL_PARAMS, &cur);
+                self.engine.write_global_f64(gn::CTRL_PARAMS, &cur)?;
             }
 
             // The pass loop, with a boundary crossing per node execution.
@@ -406,11 +400,11 @@ impl CompiledDriver {
                     self.engine.call(node_funcs[node], &[])?;
                     calls[node] += 1;
                     self.engine
-                        .write_global_i64(gn::COUNTERS, node, calls[node] as i64);
+                        .write_global_i64(gn::COUNTERS, node, calls[node] as i64)?;
                 }
                 pass += 1;
-                let cur = self.engine.read_global_f64(gn::OUT_CUR);
-                self.engine.write_global_f64(gn::OUT_PREV, &cur);
+                let cur = self.engine.read_global_f64(gn::OUT_CUR)?;
+                self.engine.write_global_f64(gn::OUT_PREV, &cur)?;
                 let done = match &self.model.trial_end {
                     TrialEnd::AfterNPasses(n) => pass >= *n,
                     TrialEnd::Threshold {
@@ -427,7 +421,7 @@ impl CompiledDriver {
                     break;
                 }
             }
-            let cur = self.engine.read_global_f64(gn::OUT_CUR);
+            let cur = self.engine.read_global_f64(gn::OUT_CUR)?;
             let mut out = Vec::new();
             for &o in &self.model.output_nodes {
                 let size = self.model.mechanisms[o]
@@ -459,7 +453,7 @@ impl CompiledDriver {
             .eval_func
             .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
         let flats = self.flatten_inputs(std::slice::from_ref(input));
-        self.engine.write_global_f64(gn::EXT_INPUT, &flats[0]);
+        self.engine.write_global_f64(gn::EXT_INPUT, &flats[0])?;
         match grid {
             GridStrategy::MultiCore { threads } => {
                 let r = mcpu::parallel_argmin(
@@ -468,6 +462,7 @@ impl CompiledDriver {
                     self.compiled.grid_size,
                     *threads,
                 )?;
+                self.engine.record_steals(r.steals);
                 Ok((Some(r), None))
             }
             GridStrategy::Gpu(config) => {

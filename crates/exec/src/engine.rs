@@ -5,17 +5,38 @@
 //! region that grows past the globals and is truncated when the allocating
 //! frame returns. Addresses are slot indices carried in [`Value::Ptr`].
 //!
+//! # Two execution paths
+//!
+//! The hot path ([`Engine::call`]) runs the **predecoded** form built once at
+//! construction (see [`crate::decode`]): flat per-block instruction arrays
+//! with operands pre-resolved to a register index or an inlined immediate,
+//! phi nodes split into per-edge copy tables, terminators stored by value.
+//! The loop never touches the IR, never clones, and never string-formats on
+//! the happy path; register frames come from a reusable frame pool instead
+//! of a fresh allocation per call.
+//!
+//! The slow path ([`Engine::call_reference`]) is the original IR-walking
+//! interpreter, retained verbatim as the behavioural reference: the
+//! differential test suite pits every model family against it and the
+//! `figures --interp` report measures the predecode speedup against it.
+//!
 //! The engine is `Clone`: the multicore backend gives every worker thread
 //! its own copy, which is the "thread-local copy of the read-write
-//! parameter structure and node outputs" strategy of §3.6.
+//! parameter structure and node outputs" strategy of §3.6. Clones share the
+//! immutable module and decoded code behind `Arc` — only the mutable memory
+//! image is copied, so spawning a worker is cheap.
 
+use crate::decode::{
+    decode_module, DecodedFunction, DecodedInst, DecodedTerm, Operand, PhiEdge,
+};
+use distill_ir::inst::GepIndex;
 use distill_ir::{
     BinOp, CastKind, CmpPred, Constant, FuncId, Function, GlobalId, Inst, Intrinsic, Module,
     Terminator, Ty, UnOp, ValueId, ValueKind,
 };
-use distill_ir::inst::GepIndex;
 use distill_pyvm::SplitMix64;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime scalar value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +103,10 @@ pub enum ExecError {
     FuelExhausted,
     /// The called function is only a declaration.
     MissingBody(String),
+    /// A global was looked up by a name the module does not declare.
+    UnknownGlobal(String),
+    /// The call stack exceeded the engine's depth limit.
+    DepthExceeded,
 }
 
 impl fmt::Display for ExecError {
@@ -95,6 +120,8 @@ impl fmt::Display for ExecError {
             ExecError::DivisionByZero => write!(f, "integer division by zero"),
             ExecError::FuelExhausted => write!(f, "instruction budget exhausted"),
             ExecError::MissingBody(n) => write!(f, "function {n} has no body"),
+            ExecError::UnknownGlobal(n) => write!(f, "unknown global {n}"),
+            ExecError::DepthExceeded => write!(f, "call depth exceeded"),
         }
     }
 }
@@ -121,23 +148,61 @@ pub struct EngineStats {
     pub loads: u64,
     /// Stores executed.
     pub stores: u64,
+    /// Register frames served from the reuse pool instead of a fresh
+    /// allocation (predecoded path only; the first call per depth misses).
+    pub frame_pool_hits: u64,
+    /// Work-stealing chunk grabs beyond each worker's first, accumulated by
+    /// drivers that run parallel grid searches from this engine (see
+    /// [`Engine::record_steals`] and `ParallelResult::steals`).
+    pub steals: u64,
 }
 
+/// A call frame: one register per SSA value of the function.
+type Frame = Vec<Option<Value>>;
+
 /// The execution engine: a module plus its materialized memory.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
-    module: Module,
+    module: Arc<Module>,
+    decoded: Arc<Vec<DecodedFunction>>,
     memory: Vec<Slot>,
     global_base: Vec<usize>,
     stack_base: usize,
     stats: EngineStats,
+    frame_pool: Vec<Frame>,
+    phi_scratch: Vec<Value>,
     /// Maximum instructions per top-level `call` (default: effectively
     /// unlimited). Tests lower it to catch runaway loops.
     pub fuel_limit: u64,
 }
 
+impl Clone for Engine {
+    /// Clone the mutable memory image; the module and the predecoded code
+    /// are shared (immutable after construction), so worker threads can be
+    /// spawned without re-lowering or copying any code.
+    fn clone(&self) -> Engine {
+        Engine {
+            module: Arc::clone(&self.module),
+            decoded: Arc::clone(&self.decoded),
+            memory: self.memory.clone(),
+            global_base: self.global_base.clone(),
+            stack_base: self.stack_base,
+            stats: self.stats,
+            frame_pool: Vec::new(),
+            phi_scratch: Vec::new(),
+            fuel_limit: self.fuel_limit,
+        }
+    }
+}
+
+/// Cap on pooled frames kept for reuse; deeper recursion falls back to
+/// fresh allocations rather than hoarding memory.
+const FRAME_POOL_CAP: usize = 64;
+
 impl Engine {
-    /// Materialize an engine for a module.
+    /// Materialize an engine for a module: lay out the globals and lower
+    /// every function to its predecoded execution form (once — the decoded
+    /// code is shared by every [`Clone`] of the engine).
     pub fn new(module: Module) -> Engine {
         let mut memory = Vec::new();
         let mut global_base = Vec::with_capacity(module.globals.len());
@@ -154,12 +219,16 @@ impl Engine {
             }
         }
         let stack_base = memory.len();
+        let decoded = Arc::new(decode_module(&module, &global_base));
         Engine {
-            module,
+            module: Arc::new(module),
+            decoded,
             memory,
             global_base,
             stack_base,
             stats: EngineStats::default(),
+            frame_pool: Vec::new(),
+            phi_scratch: Vec::new(),
             fuel_limit: u64::MAX,
         }
     }
@@ -179,20 +248,46 @@ impl Engine {
         self.stats = EngineStats::default();
     }
 
+    /// Fold work-stealing chunk grabs into [`EngineStats::steals`]. Worker
+    /// engines are dropped when their thread finishes, so the driver that
+    /// owns the template engine records the scheduler's aggregate here
+    /// after each parallel grid search.
+    pub fn record_steals(&mut self, n: u64) {
+        self.stats.steals += n;
+    }
+
     /// Base slot address of a global.
     pub fn global_addr(&self, id: GlobalId) -> usize {
         self.global_base[id.index()]
     }
 
+    /// The full memory image as `(tag, bits)` pairs (tags: 0 = f64, 1 = i64,
+    /// 2 = bool, 3 = uninitialized). Intended for differential tests that
+    /// assert two engines reached bit-identical states.
+    pub fn memory_bits(&self) -> Vec<(u8, u64)> {
+        self.memory
+            .iter()
+            .map(|s| match s {
+                Slot::F64(v) => (0u8, v.to_bits()),
+                Slot::I64(v) => (1u8, *v as u64),
+                Slot::Bool(b) => (2u8, *b as u64),
+                Slot::Uninit => (3u8, 0),
+            })
+            .collect()
+    }
+
+    fn global_id(&self, name: &str) -> Result<GlobalId, ExecError> {
+        self.module
+            .global_by_name(name)
+            .ok_or_else(|| ExecError::UnknownGlobal(name.to_string()))
+    }
+
     /// Read a global's slots as `f64` values.
     ///
-    /// # Panics
-    /// Panics if the global name is unknown.
-    pub fn read_global_f64(&self, name: &str) -> Vec<f64> {
-        let id = self
-            .module
-            .global_by_name(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"));
+    /// # Errors
+    /// [`ExecError::UnknownGlobal`] if the global name is unknown.
+    pub fn read_global_f64(&self, name: &str) -> Result<Vec<f64>, ExecError> {
+        let id = self.global_id(name)?;
         let len = self.module.global(id).ty.slot_count();
         self.read_global_f64_prefix(name, len)
     }
@@ -201,19 +296,20 @@ impl Engine {
     /// cheap path for partially-filled staging buffers (e.g. a batch chunk
     /// smaller than the staging capacity).
     ///
+    /// # Errors
+    /// [`ExecError::UnknownGlobal`] if the global name is unknown.
+    ///
     /// # Panics
-    /// Panics if the global name is unknown or `len` exceeds its size.
-    pub fn read_global_f64_prefix(&self, name: &str, len: usize) -> Vec<f64> {
-        let id = self
-            .module
-            .global_by_name(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"));
+    /// Panics if `len` exceeds the global's size (a driver contract
+    /// violation, not a runtime condition).
+    pub fn read_global_f64_prefix(&self, name: &str, len: usize) -> Result<Vec<f64>, ExecError> {
+        let id = self.global_id(name)?;
         let base = self.global_base[id.index()];
         assert!(
             len <= self.module.global(id).ty.slot_count(),
             "prefix of {len} slots exceeds global {name}"
         );
-        self.memory[base..base + len]
+        Ok(self.memory[base..base + len]
             .iter()
             .map(|s| match s {
                 Slot::F64(v) => *v,
@@ -221,67 +317,408 @@ impl Engine {
                 Slot::Bool(b) => *b as i64 as f64,
                 Slot::Uninit => f64::NAN,
             })
-            .collect()
+            .collect())
     }
 
     /// Overwrite a global's slots with `f64` values (shorter inputs leave the
     /// remaining slots untouched).
     ///
-    /// # Panics
-    /// Panics if the global name is unknown.
-    pub fn write_global_f64(&mut self, name: &str, values: &[f64]) {
-        let id = self
-            .module
-            .global_by_name(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"));
+    /// # Errors
+    /// [`ExecError::UnknownGlobal`] if the global name is unknown;
+    /// [`ExecError::OutOfBounds`] if `values` is longer than the global —
+    /// writing past a global's extent would silently corrupt its neighbour.
+    pub fn write_global_f64(&mut self, name: &str, values: &[f64]) -> Result<(), ExecError> {
+        let id = self.global_id(name)?;
+        let size = self.module.global(id).ty.slot_count();
+        if values.len() > size {
+            return Err(ExecError::OutOfBounds {
+                addr: values.len(),
+                size,
+            });
+        }
         let base = self.global_base[id.index()];
         for (i, v) in values.iter().enumerate() {
             self.memory[base + i] = Slot::F64(*v);
         }
+        Ok(())
     }
 
     /// Write a single `i64` slot of a global.
     ///
-    /// # Panics
-    /// Panics if the global name is unknown.
-    pub fn write_global_i64(&mut self, name: &str, index: usize, value: i64) {
-        let id = self
-            .module
-            .global_by_name(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"));
+    /// # Errors
+    /// [`ExecError::UnknownGlobal`] if the global name is unknown;
+    /// [`ExecError::OutOfBounds`] if `index` is outside the global.
+    pub fn write_global_i64(&mut self, name: &str, index: usize, value: i64) -> Result<(), ExecError> {
+        let id = self.global_id(name)?;
+        let size = self.module.global(id).ty.slot_count();
+        if index >= size {
+            return Err(ExecError::OutOfBounds { addr: index, size });
+        }
         let base = self.global_base[id.index()];
         self.memory[base + index] = Slot::I64(value);
+        Ok(())
     }
 
     /// Read a single `i64` slot of a global.
     ///
-    /// # Panics
-    /// Panics if the global name is unknown or the slot is not an integer.
-    pub fn read_global_i64(&self, name: &str, index: usize) -> i64 {
-        let id = self
-            .module
-            .global_by_name(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"));
+    /// # Errors
+    /// [`ExecError::UnknownGlobal`] if the global name is unknown;
+    /// [`ExecError::OutOfBounds`] if `index` is outside the global;
+    /// [`ExecError::Undef`] if the slot is uninitialized.
+    pub fn read_global_i64(&self, name: &str, index: usize) -> Result<i64, ExecError> {
+        let id = self.global_id(name)?;
+        let size = self.module.global(id).ty.slot_count();
+        if index >= size {
+            return Err(ExecError::OutOfBounds { addr: index, size });
+        }
         let base = self.global_base[id.index()];
         match self.memory[base + index] {
-            Slot::I64(v) => v,
-            Slot::F64(v) => v as i64,
-            Slot::Bool(b) => b as i64,
-            Slot::Uninit => panic!("uninitialized slot"),
+            Slot::I64(v) => Ok(v),
+            Slot::F64(v) => Ok(v as i64),
+            Slot::Bool(b) => Ok(b as i64),
+            Slot::Uninit => Err(ExecError::Undef(format!("global {name}[{index}]"))),
         }
     }
 
-    /// Call a function by id with the given arguments.
+    // -----------------------------------------------------------------------
+    // Predecoded hot path
+    // -----------------------------------------------------------------------
+
+    /// Call a function by id with the given arguments, running the
+    /// predecoded form.
     ///
     /// # Errors
     /// Returns [`ExecError`] on type errors, memory violations, division by
-    /// zero, or fuel exhaustion.
+    /// zero, depth or fuel exhaustion.
     pub fn call(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        // The decoded code is behind `Arc` so the loop can borrow it while
+        // `&mut self` mutates memory and statistics; one refcount bump per
+        // top-level call.
+        let decoded = Arc::clone(&self.decoded);
         let mut fuel = self.fuel_limit;
-        self.call_inner(func, args, &mut fuel, 0)
+        self.call_decoded(&decoded, func.index(), args, &mut fuel, 0)
     }
 
-    fn call_inner(
+    fn call_decoded(
+        &mut self,
+        decoded: &[DecodedFunction],
+        func: usize,
+        args: &[Value],
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        self.stats.calls += 1;
+        if depth > 256 {
+            return Err(ExecError::DepthExceeded);
+        }
+        let df = &decoded[func];
+        let Some(entry) = df.entry else {
+            return Err(ExecError::MissingBody(df.name.clone()));
+        };
+        let frame_base = self.memory.len();
+        let mut regs = self.acquire_frame(df.num_values as usize);
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = Some(*a);
+        }
+        let result = self.exec_decoded(decoded, df, entry, &mut regs, fuel, depth);
+        self.release_frame(regs);
+        // Pop this frame's allocas.
+        self.memory.truncate(frame_base.max(self.stack_base));
+        result
+    }
+
+    fn acquire_frame(&mut self, num_values: usize) -> Frame {
+        match self.frame_pool.pop() {
+            Some(mut frame) => {
+                self.stats.frame_pool_hits += 1;
+                frame.clear();
+                frame.resize(num_values, None);
+                frame
+            }
+            None => vec![None; num_values],
+        }
+    }
+
+    fn release_frame(&mut self, frame: Frame) {
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            self.frame_pool.push(frame);
+        }
+    }
+
+    fn exec_decoded(
+        &mut self,
+        decoded: &[DecodedFunction],
+        df: &DecodedFunction,
+        entry: u32,
+        regs: &mut Frame,
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        let mut block = entry as usize;
+        let mut prev: Option<u32> = None;
+        loop {
+            let blk = &df.blocks[block];
+            if blk.has_phis {
+                let Some(p) = prev else {
+                    return Err(ExecError::Undef(format!(
+                        "phi %{} evaluated in entry block",
+                        blk.first_phi
+                    )));
+                };
+                let (_, edge) = blk
+                    .phi_edges
+                    .iter()
+                    .find(|(pred, _)| *pred == p)
+                    .expect("phi edge decoded for every static predecessor");
+                match edge {
+                    PhiEdge::Missing { phi, pred } => {
+                        return Err(ExecError::Type(format!(
+                            "phi %{phi} has no edge from bb{pred}"
+                        )));
+                    }
+                    PhiEdge::Copies(copies) => {
+                        // Parallel copy: all sources are read against the
+                        // pre-entry register state before any destination is
+                        // written (a phi may feed another phi of the block).
+                        let mut scratch = std::mem::take(&mut self.phi_scratch);
+                        scratch.clear();
+                        let mut failed = None;
+                        for (_, src) in copies.iter() {
+                            match read_operand(src, regs) {
+                                Ok(v) => scratch.push(v),
+                                Err(e) => {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        if failed.is_none() {
+                            for ((dst, _), v) in copies.iter().zip(scratch.iter()) {
+                                regs[*dst as usize] = Some(*v);
+                            }
+                        }
+                        self.phi_scratch = scratch;
+                        if let Some(e) = failed {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+
+            for op in blk.code.iter() {
+                if *fuel == 0 {
+                    return Err(ExecError::FuelExhausted);
+                }
+                *fuel -= 1;
+                self.stats.instructions += 1;
+                let val = self.exec_decoded_inst(decoded, &op.inst, regs, fuel, depth)?;
+                regs[op.dst as usize] = Some(val);
+            }
+
+            match &blk.term {
+                DecodedTerm::Br(next) => {
+                    prev = Some(block as u32);
+                    block = *next as usize;
+                }
+                DecodedTerm::CondBr {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let c = read_operand(cond, regs)?
+                        .as_bool()
+                        .ok_or_else(|| ExecError::Type("branch on non-bool".into()))?;
+                    prev = Some(block as u32);
+                    block = if c { *then_blk } else { *else_blk } as usize;
+                }
+                DecodedTerm::Ret(Some(v)) => return read_operand(v, regs),
+                DecodedTerm::Ret(None) => return Ok(Value::Unit),
+                DecodedTerm::Unreachable => {
+                    return Err(ExecError::Type("reached unreachable".into()))
+                }
+                DecodedTerm::Missing => panic!("block has terminator"),
+            }
+        }
+    }
+
+    fn exec_decoded_inst(
+        &mut self,
+        decoded: &[DecodedFunction],
+        inst: &DecodedInst,
+        regs: &mut Frame,
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        match inst {
+            DecodedInst::Bin { op, lhs, rhs } => {
+                exec_bin(*op, read_operand(lhs, regs)?, read_operand(rhs, regs)?)
+            }
+            DecodedInst::Un { op, val } => {
+                let a = read_operand(val, regs)?;
+                match op {
+                    UnOp::FNeg => Ok(Value::F64(
+                        -a.as_f64().ok_or_else(|| ExecError::Type("fneg".into()))?,
+                    )),
+                    UnOp::Not => match a {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        Value::I64(i) => Ok(Value::I64(!i)),
+                        _ => Err(ExecError::Type("not on float".into())),
+                    },
+                }
+            }
+            DecodedInst::Cmp { pred, lhs, rhs } => {
+                exec_cmp(*pred, read_operand(lhs, regs)?, read_operand(rhs, regs)?)
+            }
+            DecodedInst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let c = read_operand(cond, regs)?
+                    .as_bool()
+                    .ok_or_else(|| ExecError::Type("select condition".into()))?;
+                if c {
+                    read_operand(then_val, regs)
+                } else {
+                    read_operand(else_val, regs)
+                }
+            }
+            DecodedInst::Call { callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args.iter() {
+                    vals.push(read_operand(a, regs)?);
+                }
+                self.call_decoded(decoded, *callee as usize, &vals, fuel, depth + 1)
+            }
+            DecodedInst::MathCall { kind, args } => {
+                let mut vals = [0.0f64; 2];
+                for (i, a) in args.iter().enumerate() {
+                    vals[i] = read_operand(a, regs)?
+                        .as_f64()
+                        .ok_or_else(|| ExecError::Type("intrinsic arg".into()))?;
+                }
+                Ok(Value::F64(exec_math(*kind, &vals[..args.len()])))
+            }
+            DecodedInst::RandCall { kind, state } => {
+                let addr = match read_operand(state, regs)? {
+                    Value::Ptr(p) => p,
+                    _ => return Err(ExecError::Type("PRNG state must be a pointer".into())),
+                };
+                let state_bits = self
+                    .load_slot(addr)?
+                    .as_i64()
+                    .ok_or_else(|| ExecError::Type("PRNG state must be an integer".into()))?;
+                let mut rng = SplitMix64::new(state_bits as u64);
+                let out = match kind {
+                    Intrinsic::RandUniform => rng.uniform(),
+                    Intrinsic::RandNormal => rng.normal(),
+                    _ => unreachable!(),
+                };
+                self.store_slot(addr, Value::I64(rng.state as i64))?;
+                Ok(Value::F64(out))
+            }
+            DecodedInst::Alloca { slots } => {
+                let addr = self.memory.len();
+                for _ in 0..*slots {
+                    self.memory.push(Slot::Uninit);
+                }
+                Ok(Value::Ptr(addr))
+            }
+            DecodedInst::Load { ptr } => {
+                self.stats.loads += 1;
+                let addr = match read_operand(ptr, regs)? {
+                    Value::Ptr(p) => p,
+                    other => {
+                        return Err(ExecError::Type(format!("load from non-pointer {other:?}")))
+                    }
+                };
+                self.load_slot(addr)
+            }
+            DecodedInst::Store { ptr, value } => {
+                self.stats.stores += 1;
+                let addr = match read_operand(ptr, regs)? {
+                    Value::Ptr(p) => p,
+                    other => {
+                        return Err(ExecError::Type(format!("store to non-pointer {other:?}")))
+                    }
+                };
+                let v = read_operand(value, regs)?;
+                self.store_slot(addr, v)?;
+                Ok(Value::Unit)
+            }
+            DecodedInst::Gep {
+                base,
+                const_offset,
+                dyn_steps,
+            } => {
+                let addr = match read_operand(base, regs)? {
+                    Value::Ptr(p) => p,
+                    other => return Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
+                };
+                let mut offset = *const_offset as usize;
+                for (idx, stride) in dyn_steps.iter() {
+                    let i = read_operand(idx, regs)?
+                        .as_i64()
+                        .ok_or_else(|| ExecError::Type("gep index".into()))?;
+                    if i < 0 {
+                        return Err(ExecError::OutOfBounds {
+                            addr,
+                            size: self.memory.len(),
+                        });
+                    }
+                    offset += i as usize * *stride as usize;
+                }
+                Ok(Value::Ptr(addr + offset))
+            }
+            DecodedInst::InvalidGep { base } => match read_operand(base, regs)? {
+                Value::Ptr(_) => Err(ExecError::Type("invalid gep".into())),
+                other => Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
+            },
+            DecodedInst::Cast { kind, val } => {
+                let a = read_operand(val, regs)?;
+                Ok(match kind {
+                    CastKind::SiToFp => Value::F64(
+                        a.as_i64()
+                            .ok_or_else(|| ExecError::Type("sitofp".into()))? as f64,
+                    ),
+                    CastKind::FpToSi => Value::I64(
+                        a.as_f64()
+                            .ok_or_else(|| ExecError::Type("fptosi".into()))? as i64,
+                    ),
+                    CastKind::FpTrunc | CastKind::FpExt => Value::F64(
+                        a.as_f64().ok_or_else(|| ExecError::Type("fpcast".into()))?,
+                    ),
+                    CastKind::ZExtBool => Value::I64(
+                        a.as_bool().ok_or_else(|| ExecError::Type("zext".into()))? as i64,
+                    ),
+                    CastKind::TruncBool => Value::Bool(
+                        a.as_i64().ok_or_else(|| ExecError::Type("trunc".into()))? != 0,
+                    ),
+                })
+            }
+            DecodedInst::GlobalAddr { addr } => Ok(Value::Ptr(*addr)),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Reference slow path (the pre-predecode interpreter, retained verbatim)
+    // -----------------------------------------------------------------------
+
+    /// Call a function through the retained IR-walking reference
+    /// interpreter: the pre-predecode implementation that deep-clones the
+    /// callee per call and resolves operands against the value arena on
+    /// every read. Semantically identical to [`Engine::call`] (the
+    /// differential suite enforces it); kept as the behavioural baseline and
+    /// for the `figures --interp` before/after measurement.
+    ///
+    /// # Errors
+    /// Same surface as [`Engine::call`].
+    pub fn call_reference(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        let mut fuel = self.fuel_limit;
+        self.call_reference_inner(func, args, &mut fuel, 0)
+    }
+
+    fn call_reference_inner(
         &mut self,
         func_id: FuncId,
         args: &[Value],
@@ -290,7 +727,7 @@ impl Engine {
     ) -> Result<Value, ExecError> {
         self.stats.calls += 1;
         if depth > 256 {
-            return Err(ExecError::Type("call depth exceeded".into()));
+            return Err(ExecError::DepthExceeded);
         }
         let func: Function = self.module.function(func_id).clone();
         if func.layout.is_empty() {
@@ -479,7 +916,7 @@ impl Engine {
                 for a in args {
                     vals.push(op(self, regs, *a)?);
                 }
-                self.call_inner(*callee, &vals, fuel, depth + 1)
+                self.call_reference_inner(*callee, &vals, fuel, depth + 1)
             }
             Inst::IntrinsicCall { kind, args } => {
                 if kind.has_side_effects() {
@@ -567,7 +1004,11 @@ impl Engine {
                             offset += i as usize * elem.slot_count();
                             ty = (**elem).clone();
                         }
-                        (Ty::Struct(fields), GepIndex::Const(i)) => {
+                        // Out-of-range field indices are the same typed
+                        // error the decoded path's poison form raises (the
+                        // one deviation from the pre-predecode code, which
+                        // panicked here).
+                        (Ty::Struct(fields), GepIndex::Const(i)) if *i < fields.len() => {
                             offset += ty.field_offset(*i);
                             ty = fields[*i].clone();
                         }
@@ -601,6 +1042,17 @@ impl Engine {
             }
             Inst::GlobalAddr { global } => Ok(Value::Ptr(self.global_base[global.index()])),
         }
+    }
+}
+
+/// Read a pre-resolved operand against the current frame.
+#[inline]
+fn read_operand(op: &Operand, regs: &[Option<Value>]) -> Result<Value, ExecError> {
+    match op {
+        Operand::Imm(v) => Ok(*v),
+        Operand::Reg(i) => regs[*i as usize]
+            .ok_or_else(|| ExecError::Undef(format!("value %{i} used before definition"))),
+        Operand::Undef(i) => Err(ExecError::Undef(format!("%{i}"))),
     }
 }
 
@@ -738,7 +1190,14 @@ mod tests {
     }
 
     #[test]
-    fn loops_and_phis_sum_integers() {
+    fn reference_path_matches_decoded_path() {
+        let (m, fid) = axpy_module();
+        let mut e = Engine::new(m);
+        let args = [Value::F64(2.0), Value::F64(3.0), Value::F64(1.0)];
+        assert_eq!(e.call(fid, &args), e.call_reference(fid, &args));
+    }
+
+    fn sum_module() -> (Module, FuncId) {
         // sum(0..n)
         let mut m = Module::new("m");
         let fid = m.declare_function("sum", vec![Ty::I64], Ty::I64);
@@ -770,9 +1229,30 @@ mod tests {
             b.switch_to_block(exit);
             b.ret(Some(acc));
         }
+        (m, fid)
+    }
+
+    #[test]
+    fn loops_and_phis_sum_integers() {
+        let (m, _) = sum_module();
         let mut e = Engine::new(m);
         let r = e.call(FuncId::from_index(0), &[Value::I64(10)]).unwrap();
         assert_eq!(r, Value::I64(45));
+    }
+
+    #[test]
+    fn loops_and_phis_match_reference() {
+        let (m, fid) = sum_module();
+        let mut fast = Engine::new(m.clone());
+        let mut slow = Engine::new(m);
+        for n in [0i64, 1, 2, 17, 100] {
+            assert_eq!(
+                fast.call(fid, &[Value::I64(n)]),
+                slow.call_reference(fid, &[Value::I64(n)]),
+                "n={n}"
+            );
+        }
+        assert_eq!(fast.memory_bits(), slow.memory_bits());
     }
 
     #[test]
@@ -796,10 +1276,95 @@ mod tests {
             b.ret(Some(new));
         }
         let mut e = Engine::new(m);
-        e.write_global_f64("buf", &[1.0, 2.0, 3.0, 4.0]);
+        e.write_global_f64("buf", &[1.0, 2.0, 3.0, 4.0]).unwrap();
         let r = e.call(fid, &[Value::I64(2), Value::F64(0.5)]).unwrap();
         assert_eq!(r, Value::F64(3.5));
-        assert_eq!(e.read_global_f64("buf"), vec![1.0, 2.0, 3.5, 4.0]);
+        assert_eq!(e.read_global_f64("buf").unwrap(), vec![1.0, 2.0, 3.5, 4.0]);
+    }
+
+    #[test]
+    fn unknown_globals_are_typed_errors() {
+        let (m, _) = axpy_module();
+        let mut e = Engine::new(m);
+        assert_eq!(
+            e.read_global_f64("nope").unwrap_err(),
+            ExecError::UnknownGlobal("nope".into())
+        );
+        assert_eq!(
+            e.read_global_i64("nope", 0).unwrap_err(),
+            ExecError::UnknownGlobal("nope".into())
+        );
+        assert_eq!(
+            e.write_global_f64("nope", &[1.0]).unwrap_err(),
+            ExecError::UnknownGlobal("nope".into())
+        );
+        assert_eq!(
+            e.write_global_i64("nope", 0, 1).unwrap_err(),
+            ExecError::UnknownGlobal("nope".into())
+        );
+        assert_eq!(
+            e.read_global_f64_prefix("nope", 0).unwrap_err(),
+            ExecError::UnknownGlobal("nope".into())
+        );
+    }
+
+    #[test]
+    fn global_writes_are_bounds_checked() {
+        let mut m = Module::new("m");
+        m.add_zeroed_global("a", Ty::array(Ty::F64, 2), true);
+        m.add_zeroed_global("b", Ty::array(Ty::F64, 2), true);
+        let mut e = Engine::new(m);
+        // An oversized write must not silently spill into the next global.
+        assert!(matches!(
+            e.write_global_f64("a", &[1.0, 2.0, 3.0]),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert_eq!(e.read_global_f64("b").unwrap(), vec![0.0, 0.0]);
+        assert!(matches!(
+            e.write_global_i64("a", 2, 1),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            e.read_global_i64("a", 5),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        // In-bounds shorter writes still work and leave the tail untouched.
+        e.write_global_f64("a", &[7.5]).unwrap();
+        assert_eq!(e.read_global_f64("a").unwrap(), vec![7.5, 0.0]);
+    }
+
+    #[test]
+    fn call_depth_limit_is_a_typed_error_on_both_paths() {
+        // f(x) = f(x): infinite recursion trips the depth limit.
+        let mut m = Module::new("m");
+        let fid = m.declare_function("f", vec![Ty::I64], Ty::I64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f).with_signatures(vec![(vec![Ty::I64], Ty::I64)]);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let x = b.param(0);
+            let r = b.call(fid, vec![x]);
+            b.ret(Some(r));
+        }
+        // 256 interpreter levels need more stack than the default test
+        // thread provides under the unoptimized profile.
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(move || {
+                let mut e = Engine::new(m);
+                assert_eq!(
+                    e.call(fid, &[Value::I64(0)]),
+                    Err(ExecError::DepthExceeded)
+                );
+                assert_eq!(
+                    e.call_reference(fid, &[Value::I64(0)]),
+                    Err(ExecError::DepthExceeded)
+                );
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]
@@ -823,6 +1388,22 @@ mod tests {
             e.call(fid, &[Value::F64(1.0)]).unwrap();
         }
         assert_eq!(e.memory.len(), before, "stack slots must be reclaimed");
+    }
+
+    #[test]
+    fn frame_pool_is_reused_across_calls() {
+        let (m, fid) = axpy_module();
+        let mut e = Engine::new(m);
+        let args = [Value::F64(2.0), Value::F64(3.0), Value::F64(1.0)];
+        for _ in 0..10 {
+            e.call(fid, &args).unwrap();
+        }
+        // The first call allocates; every later top-level call reuses it.
+        assert!(
+            e.stats().frame_pool_hits >= 9,
+            "expected pooled frames, stats: {:?}",
+            e.stats()
+        );
     }
 
     #[test]
@@ -873,6 +1454,10 @@ mod tests {
             e.call(fid, &[Value::I64(1), Value::I64(0)]),
             Err(ExecError::DivisionByZero)
         );
+        assert_eq!(
+            e.call_reference(fid, &[Value::I64(1), Value::I64(0)]),
+            Err(ExecError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -894,6 +1479,7 @@ mod tests {
         let mut e = Engine::new(m);
         e.fuel_limit = 10_000;
         assert_eq!(e.call(fid, &[]), Err(ExecError::FuelExhausted));
+        assert_eq!(e.call_reference(fid, &[]), Err(ExecError::FuelExhausted));
     }
 
     #[test]
@@ -902,8 +1488,33 @@ mod tests {
         m.add_zeroed_global("buf", Ty::array(Ty::F64, 2), true);
         let e1 = Engine::new(m);
         let mut e2 = e1.clone();
-        e2.write_global_f64("buf", &[9.0, 9.0]);
-        assert_eq!(e1.read_global_f64("buf"), vec![0.0, 0.0]);
-        assert_eq!(e2.read_global_f64("buf"), vec![9.0, 9.0]);
+        e2.write_global_f64("buf", &[9.0, 9.0]).unwrap();
+        assert_eq!(e1.read_global_f64("buf").unwrap(), vec![0.0, 0.0]);
+        assert_eq!(e2.read_global_f64("buf").unwrap(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn clones_share_the_decoded_code() {
+        let (m, _) = axpy_module();
+        let e1 = Engine::new(m);
+        let e2 = e1.clone();
+        assert!(Arc::ptr_eq(&e1.decoded, &e2.decoded));
+        assert!(Arc::ptr_eq(&e1.module, &e2.module));
+    }
+
+    #[test]
+    fn missing_body_errors_on_both_paths() {
+        let mut m = Module::new("m");
+        let fid = m.declare_function("decl", vec![], Ty::F64);
+        m.function_mut(fid).is_declaration = true;
+        let mut e = Engine::new(m);
+        assert_eq!(
+            e.call(fid, &[]),
+            Err(ExecError::MissingBody("decl".into()))
+        );
+        assert_eq!(
+            e.call_reference(fid, &[]),
+            Err(ExecError::MissingBody("decl".into()))
+        );
     }
 }

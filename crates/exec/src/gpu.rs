@@ -23,7 +23,7 @@
 //! register throttle drops while run time gets worse, and fp32 ≈ fp64 —
 //! and of Fig. 5c, where the GPU beats the 12-thread CPU by a modest factor.
 
-use crate::engine::{Engine, ExecError, Value};
+use crate::engine::{Engine, ExecError};
 use distill_ir::FuncId;
 
 /// Configuration of the simulated device (defaults follow the paper's
@@ -121,19 +121,14 @@ pub fn run_grid(
     config: &GpuConfig,
 ) -> Result<GpuRunReport, ExecError> {
     // ---- functional execution (one logical thread per grid point) --------
-    let mut local = engine.clone();
+    let mut ctx = crate::mcpu::EvalContext::new(engine, eval_func);
     let mut best = (usize::MAX, f64::INFINITY);
     let mut kernel_instructions = 0u64;
     for i in 0..grid_size {
-        let before = local.stats().instructions;
-        let cost = local
-            .call(eval_func, &[Value::I64(i as i64)])?
-            .as_f64()
-            .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))?;
-        kernel_instructions += local.stats().instructions - before;
-        if cost < best.1 || (cost == best.1 && i < best.0) {
-            best = (i, cost);
-        }
+        let before = ctx.engine().stats().instructions;
+        let cost = ctx.eval(i)?;
+        kernel_instructions += ctx.engine().stats().instructions - before;
+        best = crate::mcpu::argmin_better(best, i, cost);
     }
     let avg_instructions = if grid_size == 0 {
         0.0

@@ -20,10 +20,13 @@
 //!   occupancy/register/local-memory cost model calibrated to the paper's
 //!   GTX 1060 observations (see DESIGN.md for the substitution rationale).
 
+pub mod decode;
 pub mod engine;
 pub mod gpu;
 pub mod mcpu;
 
-pub use engine::{Engine, ExecError, Value};
+pub use engine::{Engine, EngineStats, ExecError, Value};
 pub use gpu::{GpuConfig, GpuRunReport};
-pub use mcpu::{parallel_argmin, ParallelResult};
+pub use mcpu::{
+    parallel_argmin, parallel_argmin_static, serial_argmin, EvalContext, ParallelResult,
+};

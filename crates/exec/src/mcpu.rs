@@ -2,16 +2,28 @@
 //!
 //! Distill extracts the exhaustive parameter evaluation of grid-search
 //! controllers and runs it on as many threads as there are cores. Each
-//! thread receives a contiguous segment of the grid, works on its *own copy*
-//! of the read-write structures (here: its own clone of the engine and
-//! therefore of every mutable global), and evaluates grid points by calling
-//! the compiled evaluation kernel. Per-evaluation PRNG streams are derived
-//! inside the kernel from the evaluation index, so the numbers drawn are
-//! identical regardless of which thread executes which point — the paper's
-//! reproducibility requirement.
+//! worker receives work through a **work-stealing chunk queue** (an atomic
+//! next-index counter over `std::thread::scope`; no external dependencies):
+//! workers repeatedly grab the next chunk of grid indices until the grid is
+//! drained, so a skewed grid — evaluation cost varying wildly across
+//! parameter points, as in the Fig. 5c controllers — no longer serializes on
+//! the slowest statically-assigned chunk. The pre-work-stealing
+//! static-contiguous partitioning is retained as
+//! [`parallel_argmin_static`] for measurement and differential testing.
+//!
+//! Every worker owns an [`EvalContext`]: a clone of the engine (sharing the
+//! immutable module and predecoded code, copying only the mutable memory
+//! image) whose register-frame pool is reused across every grid point the
+//! worker evaluates — the "thread-local copy of the read-write structures"
+//! strategy of §3.6 without per-evaluation allocation. Per-evaluation PRNG
+//! streams are derived inside the kernel from the evaluation index, so the
+//! numbers drawn are identical regardless of which thread executes which
+//! point — the paper's reproducibility requirement — and therefore the
+//! argmin is deterministic under any schedule.
 
 use crate::engine::{Engine, ExecError, Value};
 use distill_ir::FuncId;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of a parallel argmin over the grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,15 +36,88 @@ pub struct ParallelResult {
     pub evaluations: usize,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Chunk grabs beyond each worker's first under the work-stealing
+    /// scheduler — redistribution another worker could have absorbed. Zero
+    /// for the serial and static-chunk paths and for single-worker runs
+    /// (a lone worker draining the queue is self-scheduling, not stealing).
+    pub steals: u64,
+}
+
+/// The argmin accumulator's initial state.
+const ARGMIN_INIT: (usize, f64) = (usize::MAX, f64::INFINITY);
+
+/// Fold one `(index, cost)` observation into an argmin accumulator.
+///
+/// Ties are broken towards the lowest index, which matches what the
+/// compiled single-thread driver does when its tie-breaking PRNG is
+/// disabled; the stochastic reservoir tie-break lives inside the whole-model
+/// trial function where determinism against the baseline matters. This one
+/// helper is shared by the serial path, every parallel worker, and the
+/// cross-worker reduction, so all schedules agree on the winner.
+#[inline]
+pub fn argmin_better(best: (usize, f64), index: usize, cost: f64) -> (usize, f64) {
+    if cost < best.1 || (cost == best.1 && index < best.0) {
+        (index, cost)
+    } else {
+        best
+    }
+}
+
+/// A pooled grid-evaluation context: one mutable engine copy (module and
+/// predecoded code shared with the template behind `Arc`) driving the
+/// compiled evaluation kernel. The serial path uses a single context; the
+/// parallel paths give one to each worker thread.
+pub struct EvalContext {
+    engine: Engine,
+    eval_func: FuncId,
+}
+
+impl EvalContext {
+    /// Clone the template's mutable state into a fresh context (§3.6's
+    /// thread-local read-write copy).
+    pub fn new(template: &Engine, eval_func: FuncId) -> EvalContext {
+        EvalContext {
+            engine: template.clone(),
+            eval_func,
+        }
+    }
+
+    /// Evaluate one grid point.
+    ///
+    /// # Errors
+    /// Propagates engine failures; a kernel not returning `f64` is a type
+    /// error.
+    pub fn eval(&mut self, index: usize) -> Result<f64, ExecError> {
+        self.engine
+            .call(self.eval_func, &[Value::I64(index as i64)])?
+            .as_f64()
+            .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))
+    }
+
+    /// The context's engine (e.g. to inspect statistics after a sweep).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+fn empty_result(threads: usize) -> ParallelResult {
+    ParallelResult {
+        best_index: 0,
+        best_cost: f64::INFINITY,
+        evaluations: 0,
+        threads,
+        steals: 0,
+    }
 }
 
 /// Evaluate `eval_func(i)` for every `i in 0..grid_size` across `threads`
-/// workers and return the argmin of the returned costs.
+/// workers pulling chunks from a shared work-stealing queue, and return the
+/// argmin of the returned costs.
 ///
-/// Ties are broken towards the lowest index, which matches what the
-/// compiled single-thread driver does when its tie-breaking PRNG is disabled;
-/// the stochastic reservoir tie-break lives inside the whole-model trial
-/// function where determinism against the baseline matters.
+/// The result is bit-identical to [`serial_argmin`] and
+/// [`parallel_argmin_static`] for any thread count and any schedule: costs
+/// depend only on the evaluation index, and every path shares the
+/// [`argmin_better`] tie-break.
 ///
 /// # Errors
 /// Returns the first [`ExecError`] any worker encountered.
@@ -44,12 +129,86 @@ pub fn parallel_argmin(
 ) -> Result<ParallelResult, ExecError> {
     let threads = threads.max(1).min(grid_size.max(1));
     if grid_size == 0 {
-        return Ok(ParallelResult {
-            best_index: 0,
-            best_cost: f64::INFINITY,
-            evaluations: 0,
-            threads,
-        });
+        return Ok(empty_result(threads));
+    }
+    // Chunked stealing: coarse enough to amortize the shared counter, fine
+    // enough (≥ 8 chunks per worker) that one expensive tail region cannot
+    // serialize the sweep.
+    let chunk = (grid_size / (threads * 8)).clamp(1, 1024);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Result<((usize, f64), u64), ExecError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            // Thread-local copy of every read-write structure (§3.6).
+            let mut ctx = EvalContext::new(engine, eval_func);
+            handles.push(scope.spawn(move || {
+                let mut best = ARGMIN_INIT;
+                let mut grabs = 0u64;
+                loop {
+                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= grid_size {
+                        break;
+                    }
+                    grabs += 1;
+                    let hi = (lo + chunk).min(grid_size);
+                    for i in lo..hi {
+                        best = argmin_better(best, i, ctx.eval(i)?);
+                    }
+                }
+                // Every grab beyond the worker's first is a steal from the
+                // shared queue. Worker engines die with their thread, so the
+                // count is returned for the reduction; drivers fold the
+                // total into their template engine's stats.
+                Ok((best, grabs.saturating_sub(1)))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut best = ARGMIN_INIT;
+    let mut steals = 0u64;
+    for r in results {
+        let ((i, c), s) = r?;
+        steals += s;
+        if i != usize::MAX {
+            best = argmin_better(best, i, c);
+        }
+    }
+    // A lone worker draining the queue is self-scheduling, not stealing;
+    // only report redistribution that another worker could have absorbed.
+    if threads <= 1 {
+        steals = 0;
+    }
+    Ok(ParallelResult {
+        best_index: best.0,
+        best_cost: best.1,
+        evaluations: grid_size,
+        threads,
+        steals,
+    })
+}
+
+/// The pre-work-stealing scheduler: split the grid into `threads` contiguous
+/// static chunks, one per worker. Retained for differential testing and for
+/// the Fig. 5c thread-skew measurement (the `skew` series of
+/// `figures --fig 5c`), where it demonstrates the serialization work
+/// stealing removes.
+///
+/// # Errors
+/// Returns the first [`ExecError`] any worker encountered.
+pub fn parallel_argmin_static(
+    engine: &Engine,
+    eval_func: FuncId,
+    grid_size: usize,
+    threads: usize,
+) -> Result<ParallelResult, ExecError> {
+    let threads = threads.max(1).min(grid_size.max(1));
+    if grid_size == 0 {
+        return Ok(empty_result(threads));
     }
     let chunk = grid_size.div_ceil(threads);
     let results: Vec<Result<(usize, f64), ExecError>> = std::thread::scope(|scope| {
@@ -60,30 +219,26 @@ pub fn parallel_argmin(
             if lo >= hi {
                 continue;
             }
-            // Thread-local copy of every read-write structure (§3.6).
-            let mut local = engine.clone();
+            let mut ctx = EvalContext::new(engine, eval_func);
             handles.push(scope.spawn(move || {
-                let mut best = (usize::MAX, f64::INFINITY);
+                let mut best = ARGMIN_INIT;
                 for i in lo..hi {
-                    let cost = local
-                        .call(eval_func, &[Value::I64(i as i64)])?
-                        .as_f64()
-                        .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))?;
-                    if cost < best.1 || (cost == best.1 && i < best.0) {
-                        best = (i, cost);
-                    }
+                    best = argmin_better(best, i, ctx.eval(i)?);
                 }
                 Ok(best)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
-    let mut best = (usize::MAX, f64::INFINITY);
+    let mut best = ARGMIN_INIT;
     for r in results {
         let (i, c) = r?;
-        if c < best.1 || (c == best.1 && i < best.0) {
-            best = (i, c);
+        if i != usize::MAX {
+            best = argmin_better(best, i, c);
         }
     }
     Ok(ParallelResult {
@@ -91,32 +246,36 @@ pub fn parallel_argmin(
         best_cost: best.1,
         evaluations: grid_size,
         threads,
+        steals: 0,
     })
 }
 
-/// Sequential reference implementation used to validate the parallel backend
-/// and to time the single-thread compiled path in Fig. 5c.
+/// Sequential reference implementation used to validate the parallel
+/// backends and to time the single-thread compiled path in Fig. 5c. Takes
+/// the template engine by shared reference and evaluates through a single
+/// pooled [`EvalContext`] — the same context type the parallel workers use.
+///
+/// # Errors
+/// Propagates the first [`ExecError`].
 pub fn serial_argmin(
     engine: &Engine,
     eval_func: FuncId,
     grid_size: usize,
 ) -> Result<ParallelResult, ExecError> {
-    let mut local = engine.clone();
-    let mut best = (usize::MAX, f64::INFINITY);
+    if grid_size == 0 {
+        return Ok(empty_result(1));
+    }
+    let mut ctx = EvalContext::new(engine, eval_func);
+    let mut best = ARGMIN_INIT;
     for i in 0..grid_size {
-        let cost = local
-            .call(eval_func, &[Value::I64(i as i64)])?
-            .as_f64()
-            .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))?;
-        if cost < best.1 || (cost == best.1 && i < best.0) {
-            best = (i, cost);
-        }
+        best = argmin_better(best, i, ctx.eval(i)?);
     }
     Ok(ParallelResult {
         best_index: best.0,
         best_cost: best.1,
         evaluations: grid_size,
         threads: 1,
+        steals: 0,
     })
 }
 
@@ -153,6 +312,9 @@ mod tests {
             assert_eq!(par.best_index, serial.best_index, "threads={threads}");
             assert_eq!(par.best_cost, serial.best_cost);
             assert_eq!(par.evaluations, 100);
+            let stat = parallel_argmin_static(&engine, fid, 100, threads).unwrap();
+            assert_eq!(stat.best_index, serial.best_index, "threads={threads}");
+            assert_eq!(stat.best_cost, serial.best_cost);
         }
     }
 
@@ -169,6 +331,49 @@ mod tests {
         let (engine, fid) = quadratic_kernel();
         let r = parallel_argmin(&engine, fid, 0, 4).unwrap();
         assert_eq!(r.evaluations, 0);
+        let r = parallel_argmin_static(&engine, fid, 0, 4).unwrap();
+        assert_eq!(r.evaluations, 0);
+        let r = serial_argmin(&engine, fid, 0).unwrap();
+        assert_eq!(r.evaluations, 0);
+    }
+
+    #[test]
+    fn stealing_drains_the_whole_grid() {
+        // Grid much larger than threads * chunk: every worker must go back
+        // to the queue, so grabs beyond the first are recorded as steals.
+        let (engine, fid) = quadratic_kernel();
+        let r = parallel_argmin(&engine, fid, 500, 2).unwrap();
+        assert_eq!(r.best_index, 37);
+        assert!(r.steals > 0, "expected chunked re-grabs, got {r:?}");
+    }
+
+    #[test]
+    fn ties_break_towards_the_lowest_index() {
+        // cost(i) = 0 everywhere: index 0 must win under every scheduler.
+        let mut m = Module::new("m");
+        let fid = m.declare_function("flat", vec![Ty::I64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f);
+            let e = b.create_block("entry");
+            b.switch_to_block(e);
+            let z = b.const_f64(0.0);
+            b.ret(Some(z));
+        }
+        let engine = Engine::new(m);
+        assert_eq!(serial_argmin(&engine, fid, 64).unwrap().best_index, 0);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                parallel_argmin(&engine, fid, 64, threads).unwrap().best_index,
+                0
+            );
+            assert_eq!(
+                parallel_argmin_static(&engine, fid, 64, threads)
+                    .unwrap()
+                    .best_index,
+                0
+            );
+        }
     }
 
     #[test]
@@ -193,6 +398,6 @@ mod tests {
         }
         let engine = Engine::new(m);
         parallel_argmin(&engine, fid, 64, 8).unwrap();
-        assert_eq!(engine.read_global_f64("scratch"), vec![0.0]);
+        assert_eq!(engine.read_global_f64("scratch").unwrap(), vec![0.0]);
     }
 }

@@ -336,6 +336,32 @@ impl Function {
         }
     }
 
+    /// Number of values in the SSA arena (register-file size for execution).
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of parameters (the first `param_count()` arena values).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Static predecessors of a block: every block (in arena order) whose
+    /// terminator lists `id` as a successor. This is the edge set a phi node
+    /// can be entered through; the execution engine's decoder builds its
+    /// per-edge copy tables from it.
+    pub fn static_predecessors(&self, id: BlockId) -> Vec<BlockId> {
+        let mut preds = Vec::new();
+        for (i, blk) in self.blocks.iter().enumerate() {
+            if let Some(term) = &blk.term {
+                if term.successors().contains(&id) {
+                    preds.push(BlockId::from_index(i));
+                }
+            }
+        }
+        preds
+    }
+
     /// Find the block that schedules `id`, if any.
     pub fn defining_block(&self, id: ValueId) -> Option<BlockId> {
         for b in self.block_order() {
@@ -409,6 +435,27 @@ mod tests {
         f.unschedule(sum);
         assert_eq!(f.inst_count(), 0);
         assert_eq!(f.defining_block(sum), None);
+    }
+
+    #[test]
+    fn static_predecessors_follow_terminators() {
+        let mut f = Function::new("g", vec![], Ty::Void);
+        let a = f.add_block("a");
+        let b = f.add_block("b");
+        let c = f.add_block("c");
+        let cond = f.add_constant(Constant::Bool(true));
+        f.block_mut(a).term = Some(Terminator::CondBr {
+            cond,
+            then_blk: b,
+            else_blk: c,
+        });
+        f.block_mut(b).term = Some(Terminator::Br(c));
+        f.block_mut(c).term = Some(Terminator::Ret(None));
+        assert_eq!(f.static_predecessors(a), vec![]);
+        assert_eq!(f.static_predecessors(b), vec![a]);
+        assert_eq!(f.static_predecessors(c), vec![a, b]);
+        assert_eq!(f.param_count(), 0);
+        assert!(f.value_count() >= 1);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Differential suite: the predecoded hot-path engine against the retained
+//! IR-walking reference interpreter.
+//!
+//! Every model family behind the paper's figures (Fig. 2–7) is compiled and
+//! executed twice over the same module — once through `Engine::call`
+//! (predecoded) and once through `Engine::call_reference` (the pre-predecode
+//! implementation) — asserting bit-identical trial outputs *and* bit-identical
+//! final memory images. Targeted edge cases cover phi edges, terminators,
+//! frame-pool reuse, and the work-stealing grid scheduler against the
+//! static-chunk and serial paths on a seeded skewed-cost grid.
+
+use distill::{
+    compile, global_names as gn, parallel_argmin, parallel_argmin_static, serial_argmin,
+    CompileConfig, CompileMode, CompiledModel, Engine, ExecError, OptLevel, Value,
+};
+use distill_ir::{BinOp, CmpPred, FunctionBuilder, Module, Terminator, Ty};
+use distill_models::{
+    botvinick_stroop, extended_stroop_a, extended_stroop_b, multitasking, necker_cube_s,
+    predator_prey, predator_prey_s, vectorized_necker_cube, Workload,
+};
+
+/// Flatten one trial input into the `ext_input` layout through the same
+/// `Layout` helper the driver uses (a zero image for input-less workloads).
+fn flatten(w: &Workload, artifact: &CompiledModel, trial: usize) -> Vec<f64> {
+    match w.inputs.get(trial % w.inputs.len().max(1)) {
+        Some(input) => artifact.layout.flatten_input(&w.model.input_nodes, input),
+        None => vec![0.0; artifact.layout.ext_len.max(1)],
+    }
+}
+
+/// Run `trials` whole-model trials on both paths and assert bit-identical
+/// behaviour: same results, same trial outputs, same final memory.
+fn differential_whole_model(w: &Workload, config: CompileConfig, trials: usize) {
+    let artifact = compile(&w.model, config).expect("compilation succeeds");
+    let trial_fn = artifact
+        .trial_func
+        .expect("whole-model artifact has a trial function");
+    let out_len = artifact.layout.trial_output_len;
+    let mut fast = Engine::new(artifact.module.clone());
+    let mut slow = Engine::new(artifact.module.clone());
+    for trial in 0..trials {
+        let flat = flatten(w, &artifact, trial);
+        fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+        slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+        let args = [Value::I64(trial as i64)];
+        let rf = fast.call(trial_fn, &args);
+        let rs = slow.call_reference(trial_fn, &args);
+        assert_eq!(rf, rs, "{}: trial {trial} diverged", w.model.name);
+        let of: Vec<u64> = fast.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let os: Vec<u64> = slow.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(of, os, "{}: trial {trial} outputs diverged", w.model.name);
+    }
+    assert_eq!(
+        fast.memory_bits(),
+        slow.memory_bits(),
+        "{}: final memory diverged",
+        w.model.name
+    );
+}
+
+/// Run the controller's grid-evaluation kernel on both paths.
+fn differential_eval_kernel(w: &Workload, config: CompileConfig, points: usize) {
+    let artifact = compile(&w.model, config).expect("compilation succeeds");
+    let Some(eval_fn) = artifact.eval_func else {
+        return;
+    };
+    let mut fast = Engine::new(artifact.module.clone());
+    let mut slow = Engine::new(artifact.module.clone());
+    let flat = flatten(w, &artifact, 0);
+    fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    for g in 0..points.min(artifact.grid_size) {
+        let args = [Value::I64(g as i64)];
+        let rf = fast.call(eval_fn, &args).unwrap().as_f64().unwrap();
+        let rs = slow.call_reference(eval_fn, &args).unwrap().as_f64().unwrap();
+        assert_eq!(
+            rf.to_bits(),
+            rs.to_bits(),
+            "{}: grid point {g} diverged",
+            w.model.name
+        );
+    }
+    assert_eq!(fast.memory_bits(), slow.memory_bits());
+}
+
+/// Run every per-node function once on both paths.
+fn differential_per_node(w: &Workload, config: CompileConfig) {
+    let artifact = compile(
+        &w.model,
+        CompileConfig {
+            mode: CompileMode::PerNode,
+            ..config
+        },
+    )
+    .expect("compilation succeeds");
+    let mut fast = Engine::new(artifact.module.clone());
+    let mut slow = Engine::new(artifact.module.clone());
+    let flat = flatten(w, &artifact, 0);
+    fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    for &node_fn in &artifact.node_funcs {
+        let rf = fast.call(node_fn, &[]);
+        let rs = slow.call_reference(node_fn, &[]);
+        assert_eq!(rf, rs, "{}: node function diverged", w.model.name);
+    }
+    assert_eq!(fast.memory_bits(), slow.memory_bits());
+}
+
+#[test]
+fn fig2_family_trials_are_bit_identical() {
+    // The Fig. 2 model family (predator-prey attention) — also the workload
+    // `figures --interp` measures the >= 2x speedup on.
+    differential_whole_model(&predator_prey_s(), CompileConfig::default(), 6);
+}
+
+#[test]
+fn fig3_family_trials_are_bit_identical() {
+    differential_whole_model(&extended_stroop_a(), CompileConfig::default(), 3);
+    differential_whole_model(&extended_stroop_b(), CompileConfig::default(), 3);
+}
+
+#[test]
+fn fig4_family_trials_are_bit_identical() {
+    differential_whole_model(&necker_cube_s(), CompileConfig::default(), 3);
+    differential_whole_model(&vectorized_necker_cube(), CompileConfig::default(), 2);
+    differential_whole_model(&multitasking(), CompileConfig::default(), 2);
+}
+
+#[test]
+fn fig5b_family_per_node_and_whole_model_are_bit_identical() {
+    let w = botvinick_stroop();
+    differential_whole_model(&w, CompileConfig::default(), 2);
+    differential_per_node(&w, CompileConfig::default());
+}
+
+#[test]
+fn fig5c_fig6_grid_kernels_are_bit_identical() {
+    let w = predator_prey(4);
+    differential_whole_model(&w, CompileConfig::default(), 1);
+    differential_eval_kernel(&w, CompileConfig::default(), 16);
+}
+
+#[test]
+fn fig7_opt_levels_are_bit_identical() {
+    // O0 and O3 produce very different IR shapes (no mem2reg vs full
+    // inlining); both must decode and execute identically.
+    for level in [OptLevel::O0, OptLevel::O3] {
+        differential_whole_model(
+            &predator_prey_s(),
+            CompileConfig {
+                opt_level: level,
+                ..CompileConfig::default()
+            },
+            2,
+        );
+        differential_whole_model(
+            &multitasking(),
+            CompileConfig {
+                opt_level: level,
+                ..CompileConfig::default()
+            },
+            2,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn phi_missing_edge_errors_identically() {
+    // A block with a phi that has an incoming value for only one of its two
+    // predecessors; entering through the other must raise the same error on
+    // both paths.
+    let mut m = Module::new("m");
+    let fid = m.declare_function("f", vec![Ty::Bool], Ty::I64);
+    {
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let entry = b.create_block("entry");
+        let left = b.create_block("left");
+        let right = b.create_block("right");
+        let merge = b.create_block("merge");
+        b.switch_to_block(entry);
+        let c = b.param(0);
+        b.cond_br(c, left, right);
+        b.switch_to_block(left);
+        b.br(merge);
+        b.switch_to_block(right);
+        b.br(merge);
+        b.switch_to_block(merge);
+        let p = b.empty_phi(Ty::I64);
+        let one = b.const_i64(1);
+        b.add_phi_incoming(p, left, one);
+        // No incoming for `right`.
+        b.ret(Some(p));
+    }
+    let mut fast = Engine::new(m.clone());
+    let mut slow = Engine::new(m);
+    // The good edge works on both paths.
+    assert_eq!(
+        fast.call(fid, &[Value::Bool(true)]),
+        Ok(Value::I64(1))
+    );
+    assert_eq!(
+        slow.call_reference(fid, &[Value::Bool(true)]),
+        Ok(Value::I64(1))
+    );
+    // The missing edge errors identically (same variant, same message).
+    let ef = fast.call(fid, &[Value::Bool(false)]).unwrap_err();
+    let es = slow.call_reference(fid, &[Value::Bool(false)]).unwrap_err();
+    assert_eq!(ef, es);
+    assert!(matches!(ef, ExecError::Type(ref msg) if msg.contains("has no edge from")));
+}
+
+#[test]
+fn terminator_edge_cases_match() {
+    // Unreachable, void return, and both sides of a conditional branch.
+    let mut m = Module::new("m");
+    let unreachable_fn = m.declare_function("dead_end", vec![], Ty::Void);
+    {
+        let f = m.function_mut(unreachable_fn);
+        let mut b = FunctionBuilder::new(f);
+        let e = b.create_block("entry");
+        b.switch_to_block(e);
+        b.unreachable();
+    }
+    let void_fn = m.declare_function("noop", vec![], Ty::Void);
+    {
+        let f = m.function_mut(void_fn);
+        let mut b = FunctionBuilder::new(f);
+        let e = b.create_block("entry");
+        b.switch_to_block(e);
+        b.ret(None);
+    }
+    let select_fn = m.declare_function("pick", vec![Ty::Bool], Ty::F64);
+    {
+        let f = m.function_mut(select_fn);
+        let mut b = FunctionBuilder::new(f);
+        let e = b.create_block("entry");
+        let t = b.create_block("t");
+        let u = b.create_block("u");
+        b.switch_to_block(e);
+        let c = b.param(0);
+        b.cond_br(c, t, u);
+        b.switch_to_block(t);
+        let x = b.const_f64(1.5);
+        b.ret(Some(x));
+        b.switch_to_block(u);
+        let y = b.const_f64(-2.5);
+        b.ret(Some(y));
+    }
+    let mut fast = Engine::new(m.clone());
+    let mut slow = Engine::new(m);
+    assert_eq!(
+        fast.call(unreachable_fn, &[]),
+        slow.call_reference(unreachable_fn, &[])
+    );
+    assert!(matches!(
+        fast.call(unreachable_fn, &[]),
+        Err(ExecError::Type(_))
+    ));
+    assert_eq!(fast.call(void_fn, &[]), Ok(Value::Unit));
+    assert_eq!(slow.call_reference(void_fn, &[]), Ok(Value::Unit));
+    for c in [true, false] {
+        assert_eq!(
+            fast.call(select_fn, &[Value::Bool(c)]),
+            slow.call_reference(select_fn, &[Value::Bool(c)]),
+            "cond {c}"
+        );
+    }
+}
+
+#[test]
+fn dead_block_without_terminator_decodes_without_running() {
+    // A block nothing branches to may legally lack a terminator while the
+    // function is still executable; decoding must not reject the function.
+    let mut m = Module::new("m");
+    let fid = m.declare_function("f", vec![], Ty::I64);
+    {
+        let f = m.function_mut(fid);
+        let entry = f.add_block("entry");
+        let _dead = f.add_block("dead"); // never terminated, never reached
+        let k = f.add_constant(distill_ir::Constant::I64(7));
+        f.block_mut(entry).term = Some(Terminator::Ret(Some(k)));
+    }
+    let mut fast = Engine::new(m.clone());
+    let mut slow = Engine::new(m);
+    assert_eq!(fast.call(fid, &[]), Ok(Value::I64(7)));
+    assert_eq!(slow.call_reference(fid, &[]), Ok(Value::I64(7)));
+}
+
+#[test]
+fn frame_pool_reuse_keeps_nested_calls_correct() {
+    // callee(x) allocas a slot; caller calls it twice per invocation. Frames
+    // and alloca regions must be recycled without cross-call contamination.
+    let mut m = Module::new("m");
+    let callee = m.declare_function("callee", vec![Ty::F64], Ty::F64);
+    {
+        let f = m.function_mut(callee);
+        let mut b = FunctionBuilder::new(f);
+        let e = b.create_block("entry");
+        b.switch_to_block(e);
+        let x = b.param(0);
+        let slot = b.alloca(Ty::F64);
+        b.store(slot, x);
+        let v = b.load(slot);
+        let two = b.const_f64(2.0);
+        let r = b.fmul(v, two);
+        b.ret(Some(r));
+    }
+    let caller = m.declare_function("caller", vec![Ty::F64], Ty::F64);
+    {
+        let f = m.function_mut(caller);
+        let mut b =
+            FunctionBuilder::new(f).with_signatures(vec![(vec![Ty::F64], Ty::F64); 2]);
+        let e = b.create_block("entry");
+        b.switch_to_block(e);
+        let x = b.param(0);
+        let a = b.call(callee, vec![x]);
+        let c = b.call(callee, vec![a]);
+        b.ret(Some(c));
+    }
+    let mut fast = Engine::new(m.clone());
+    let mut slow = Engine::new(m);
+    for i in 0..50 {
+        let x = Value::F64(i as f64 * 0.25);
+        assert_eq!(fast.call(caller, &[x]), slow.call_reference(caller, &[x]));
+    }
+    let stats = fast.stats();
+    assert!(
+        stats.frame_pool_hits >= 100,
+        "nested frames must be pooled: {stats:?}"
+    );
+    assert_eq!(fast.memory_bits(), slow.memory_bits());
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing vs static chunks on a seeded skewed-cost grid
+// ---------------------------------------------------------------------------
+
+/// A seeded pseudo-random skewed kernel: cost and busy-work both derive from
+/// an LCG hash of the grid index, so evaluation cost varies wildly and
+/// unpredictably across the grid while staying a pure function of the index.
+fn seeded_skew_kernel(seed: i64) -> (Engine, distill_ir::FuncId) {
+    let mut m = Module::new("skew");
+    let fid = m.declare_function("eval", vec![Ty::I64], Ty::F64);
+    {
+        let f = m.function_mut(fid);
+        let mut b = FunctionBuilder::new(f);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to_block(entry);
+        let i = b.param(0);
+        // s = i * 1103515245 + seed (wrapping), the classic LCG step.
+        let mul = b.const_i64(1_103_515_245);
+        let add = b.const_i64(seed);
+        let s0 = b.imul(i, mul);
+        let s = b.iadd(s0, add);
+        // Busy-work bound and cost both come from masked hash bits.
+        let work_mask = b.const_i64(1023);
+        let work = b.bin(BinOp::And, s, work_mask);
+        let cost_mask = b.const_i64(65_535);
+        let cost_bits = b.bin(BinOp::And, s, cost_mask);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let zf = b.const_f64(0.0);
+        b.br(header);
+        b.switch_to_block(header);
+        let j = b.empty_phi(Ty::I64);
+        let acc = b.empty_phi(Ty::F64);
+        b.add_phi_incoming(j, entry, zero);
+        b.add_phi_incoming(acc, entry, zf);
+        let c = b.cmp(CmpPred::ILt, j, work);
+        b.cond_br(c, body, exit);
+        b.switch_to_block(body);
+        let jf = b.sitofp(j);
+        let acc2 = b.fadd(acc, jf);
+        let j2 = b.iadd(j, one);
+        b.add_phi_incoming(j, body, j2);
+        b.add_phi_incoming(acc, body, acc2);
+        b.br(header);
+        b.switch_to_block(exit);
+        let cf = b.sitofp(cost_bits);
+        let zw = b.const_f64(0.0);
+        let junk = b.fmul(acc, zw);
+        let r = b.fadd(cf, junk);
+        b.ret(Some(r));
+    }
+    (Engine::new(m), fid)
+}
+
+#[test]
+fn multicore_driver_folds_steals_into_engine_stats() {
+    use distill::{RunSpec, Session, Target};
+    let w = predator_prey(4);
+    let mut runner = Session::new(&w.model)
+        .target(Target::MultiCore { threads: 2 })
+        .build()
+        .expect("runner builds");
+    let result = runner
+        .run(&RunSpec::new(w.inputs.clone(), 1))
+        .expect("multicore trial");
+    let grid = result.grid.expect("multicore target reports grid stats");
+    let stats = runner.engine().expect("compiled backend has an engine").stats();
+    assert_eq!(
+        stats.steals, grid.steals,
+        "driver must fold the scheduler's steal count into EngineStats"
+    );
+    if grid.evaluations >= 2 * grid.threads {
+        assert!(grid.steals > 0, "a drained queue implies re-grabs: {grid:?}");
+    }
+}
+
+#[test]
+fn work_stealing_matches_static_chunks_on_seeded_skewed_grids() {
+    for seed in [987_654_321i64, 42, -7_777_777] {
+        let (engine, fid) = seeded_skew_kernel(seed);
+        let grid = 257; // deliberately not a multiple of any thread count
+        let serial = serial_argmin(&engine, fid, grid).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let stat = parallel_argmin_static(&engine, fid, grid, threads).unwrap();
+            let steal = parallel_argmin(&engine, fid, grid, threads).unwrap();
+            assert_eq!(
+                stat.best_index, serial.best_index,
+                "static, seed {seed}, threads {threads}"
+            );
+            assert_eq!(
+                steal.best_index, serial.best_index,
+                "stealing, seed {seed}, threads {threads}"
+            );
+            assert_eq!(stat.best_cost.to_bits(), serial.best_cost.to_bits());
+            assert_eq!(steal.best_cost.to_bits(), serial.best_cost.to_bits());
+            assert_eq!(steal.evaluations, grid);
+        }
+    }
+}
