@@ -25,19 +25,27 @@ cargo run --release --example quickstart
 cargo run --release --example predator_prey_attention
 cargo run --release --example model_analysis
 
-echo "== figures (reduced workloads, JSON to bench_results/)"
+echo "== figures (reduced workloads incl. the sweep subsystem, JSON to bench_results/)"
+# The default run covers every figure, including `sweep` — the reduced
+# registry sweep (serial vs sharded+batched per family, bit-identity
+# verified) and the anchor comparison the gate below reads.
 cargo run --release -p distill-bench --bin figures
 
 echo "== bench-diff (regression gate vs committed bench_results/baseline/)"
 # The BENCH trajectory consumer: per-figure elapsed times within a wide
 # wall-clock band, the interp figure's median within a MAD band, and the
-# predecoded-engine speedup gate (>= 2x over the reference interpreter).
+# machine-independent gates on the fresh snapshot — the predecoded-engine
+# speedup (>= 2x over the reference interpreter), the sweep subsystem's
+# sharded+batched speedup (>= 1.5x over per-trial multicore grid search)
+# and the sweep's bit-identity flags.
 # The committed baseline records absolute timings from one machine; when
 # this gate moves to a much slower host, refresh the snapshot once with
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
-# (the speedup gate is machine-independent and keeps guarding regardless).
+# (the speedup and identity gates are machine-independent and keep guarding
+# regardless).
 cargo run --release -p distill-bench --bin bench-diff -- \
   bench_results/baseline/figures.json bench_results/figures.json \
-  --threshold 1.5 --min-seconds 0.1
+  --threshold 1.5 --min-seconds 0.1 \
+  --min-interp-speedup 2.0 --min-sweep-speedup 1.5
 
 echo "CI OK"

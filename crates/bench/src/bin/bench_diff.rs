@@ -1,8 +1,8 @@
-//! Compare two archived `figures` JSON snapshots and fail on regressions —
-//! the BENCH trajectory consumer the ROADMAP asks for.
+//! Compare archived benchmark snapshots and fail on regressions — the BENCH
+//! trajectory consumer the ROADMAP asks for.
 //!
 //! ```text
-//! bench-diff BASELINE.json CURRENT.json [options]
+//! bench-diff BASELINE.json CURRENT.json [MORE.json ...] [options]
 //!   --threshold R           relative tolerance on per-figure elapsed time
 //!                           (default 1.5: fail only when > 2.5x baseline)
 //!   --min-seconds S         absolute slack added to the elapsed band
@@ -12,27 +12,36 @@
 //!   --min-interp-speedup X  required `interp` median speedup of the
 //!                           predecoded engine over the reference
 //!                           interpreter (default 2.0; 0 disables)
+//!   --min-sweep-speedup X   required `sweep` anchor speedup of the
+//!                           sharded+batched run over per-trial multicore
+//!                           grid search (default 1.5; 0 disables)
 //! ```
 //!
-//! Inputs are either a combined report (`{"figures": [...]}` as written by
-//! `figures` with no `--fig` selection) or a single per-figure record. Only
-//! figures present in the baseline are compared; a figure that disappeared
-//! from the current snapshot is itself a regression. Snapshots taken at
-//! different scales (`full_scale` mismatch) are refused outright — comparing
-//! them would be meaningless, not merely out of tolerance.
+//! Each input is one of:
 //!
-//! Two kinds of checks run per figure:
+//! * a combined `figures` report (`{"figures": [...]}`),
+//! * a single per-figure record (`{"figure": ...}`),
+//! * a micro-bench group snapshot as written by the bench harness
+//!   (`{"group": ..., "benchmarks": [...]}`), or
+//! * a raw stdout capture: any lines prefixed `FIG-JSON ` / `BENCH-JSON `
+//!   are collected, so `figures > log` and `cargo bench > log` archives
+//!   diff without postprocessing.
 //!
-//! * **elapsed band** — the figure's wall-clock `elapsed_s` may grow to
-//!   `base * (1 + threshold) + min_seconds` before it counts as a
-//!   regression; wall-clock per figure is a single sample, so the band is
-//!   deliberately wide.
-//! * **median ± MAD band** — figures that archive robust statistics (the
-//!   `interp` before/after report) compare medians with a tolerance of
-//!   `max(threshold * base_median, mad_k * (base_mad + cur_mad))`. The
-//!   relative part honours `--threshold` because the archived absolute
-//!   medians depend on the machine the baseline was taken on; the
-//!   machine-independent interp check is the speedup gate.
+//! With two inputs the comparison is the classic baseline-vs-current pair.
+//! With three or more, **trajectory mode** walks consecutive pairs in the
+//! given (oldest → newest) order: every transition is reported, but only
+//! regressions in the *final* transition set the exit status — the history
+//! already happened; the gate protects the newest step. The machine-
+//! independent gates (interp speedup, sweep speedup, identity flags) always
+//! apply to the newest snapshot.
+//!
+//! Per-figure checks: an **elapsed band** (`base * (1 + threshold) +
+//! min_seconds`) and, for figures carrying robust statistics, a **median ±
+//! MAD band**. Micro-bench groups compare each benchmark's `median_s` with
+//! the same median ± MAD band. Snapshots taken at different scales
+//! (`full_scale` mismatch) are refused outright. A figure or group present
+//! in the older snapshot but missing from the newer one is itself a
+//! regression.
 //!
 //! Exit status: 0 = within tolerance, 1 = regression(s), 2 = usage or
 //! parse errors.
@@ -41,32 +50,31 @@ use criterion::json::Json;
 use std::process::exit;
 
 struct Options {
-    baseline: String,
-    current: String,
+    paths: Vec<String>,
     threshold: f64,
     min_seconds: f64,
     mad_k: f64,
     min_interp_speedup: f64,
+    min_sweep_speedup: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench-diff BASELINE.json CURRENT.json [--threshold R] [--min-seconds S] \
-         [--mad-k K] [--min-interp-speedup X]"
+        "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
+         [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X]"
     );
     exit(2);
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut paths = Vec::new();
     let mut opts = Options {
-        baseline: String::new(),
-        current: String::new(),
+        paths: Vec::new(),
         threshold: 1.5,
         min_seconds: 0.1,
         mad_k: 6.0,
         min_interp_speedup: 2.0,
+        min_sweep_speedup: 1.5,
     };
     let mut i = 0;
     while i < args.len() {
@@ -82,20 +90,26 @@ fn parse_args() -> Options {
             "--min-seconds" => opts.min_seconds = flag_value(&mut i),
             "--mad-k" => opts.mad_k = flag_value(&mut i),
             "--min-interp-speedup" => opts.min_interp_speedup = flag_value(&mut i),
+            "--min-sweep-speedup" => opts.min_sweep_speedup = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
-            other => paths.push(other.to_string()),
+            other => opts.paths.push(other.to_string()),
         }
         i += 1;
     }
-    if paths.len() != 2 {
+    if opts.paths.len() < 2 {
         usage();
     }
-    opts.baseline = paths.remove(0);
-    opts.current = paths.remove(0);
     opts
 }
 
-fn load_records(path: &str) -> Vec<Json> {
+/// One snapshot: its figure records and its micro-bench group records.
+struct Snapshot {
+    path: String,
+    figures: Vec<Json>,
+    groups: Vec<Json>,
+}
+
+fn load_snapshot(path: &str) -> Snapshot {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -103,35 +117,64 @@ fn load_records(path: &str) -> Vec<Json> {
             exit(2);
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: cannot parse {path}: {e}");
-            exit(2);
+    let mut docs: Vec<Json> = Vec::new();
+    // Raw stdout capture: collect every FIG-JSON / BENCH-JSON line.
+    for line in text.lines() {
+        for prefix in ["FIG-JSON ", "BENCH-JSON "] {
+            if let Some(rest) = line.trim_start().strip_prefix(prefix) {
+                match Json::parse(rest) {
+                    Ok(d) => docs.push(d),
+                    Err(e) => {
+                        eprintln!("error: bad {prefix}record in {path}: {e}");
+                        exit(2);
+                    }
+                }
+            }
         }
+    }
+    if docs.is_empty() {
+        match Json::parse(&text) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("error: cannot parse {path}: {e}");
+                exit(2);
+            }
+        }
+    }
+    let mut snap = Snapshot {
+        path: path.to_string(),
+        figures: Vec::new(),
+        groups: Vec::new(),
     };
-    // Combined report or a single per-figure record.
-    match doc.get("figures").and_then(Json::as_arr) {
-        Some(figs) => figs.to_vec(),
-        None if doc.get("figure").is_some() => vec![doc],
-        None => {
-            eprintln!("error: {path} is not a figures report");
+    for doc in docs {
+        if let Some(figs) = doc.get("figures").and_then(Json::as_arr) {
+            snap.figures.extend(figs.to_vec());
+        } else if doc.get("figure").is_some() {
+            snap.figures.push(doc);
+        } else if doc.get("group").is_some() {
+            snap.groups.push(doc);
+        } else {
+            eprintln!("error: {path} holds neither a figures report nor a bench group");
             exit(2);
         }
     }
+    snap
 }
 
-fn figure_name(record: &Json) -> Option<&str> {
-    record.get("figure").and_then(Json::as_str)
+fn name_of<'a>(record: &'a Json, key: &str) -> Option<&'a str> {
+    record.get(key).and_then(Json::as_str)
 }
 
-fn find<'a>(records: &'a [Json], name: &str) -> Option<&'a Json> {
-    records.iter().find(|r| figure_name(r) == Some(name))
+fn find<'a>(records: &'a [Json], key: &str, name: &str) -> Option<&'a Json> {
+    records.iter().find(|r| name_of(r, key) == Some(name))
 }
 
 struct Verdicts {
     lines: Vec<String>,
     regressions: usize,
+    /// Whether regressions recorded from here on count towards the exit
+    /// status (only the final trajectory transition gates).
+    gating: bool,
 }
 
 impl Verdicts {
@@ -143,57 +186,84 @@ impl Verdicts {
             "n/a".to_string()
         };
         self.lines.push(format!(
-            "  {:<34} base {:>12.6}  cur {:>12.6}  ({delta:>8})  {}",
+            "  {:<38} base {:>12.6}  cur {:>12.6}  ({delta:>8})  {}",
             label,
             base,
             cur,
-            if regressed { "REGRESSION" } else { "ok" }
+            if regressed {
+                if self.gating {
+                    "REGRESSION"
+                } else {
+                    "regressed (history)"
+                }
+            } else {
+                "ok"
+            }
         ));
-        if regressed {
+        if regressed && self.gating {
             self.regressions += 1;
         }
     }
 
     fn fail(&mut self, message: String) {
-        self.lines.push(format!("  {message}  REGRESSION"));
-        self.regressions += 1;
+        if self.gating {
+            self.lines.push(format!("  {message}  REGRESSION"));
+            self.regressions += 1;
+        } else {
+            self.lines.push(format!("  {message}  (history)"));
+        }
+    }
+
+    fn note(&mut self, message: String) {
+        self.lines.push(format!("  {message}"));
     }
 }
 
-fn main() {
-    let opts = parse_args();
-    let baseline = load_records(&opts.baseline);
-    let current = load_records(&opts.current);
-    let mut v = Verdicts {
-        lines: Vec::new(),
-        regressions: 0,
-    };
-
-    for base in &baseline {
-        let Some(name) = figure_name(base) else {
+/// Compare one snapshot transition (figures and micro-bench groups).
+fn compare(base: &Snapshot, cur: &Snapshot, opts: &Options, v: &mut Verdicts) {
+    for b in &base.figures {
+        let Some(name) = name_of(b, "figure") else {
             continue;
         };
-        let Some(cur) = find(&current, name) else {
-            v.fail(format!("figure '{name}' missing from current snapshot"));
+        let Some(c) = find(&cur.figures, "figure", name) else {
+            v.fail(format!("figure '{name}' missing from {}", cur.path));
             continue;
         };
         let scale = |r: &Json| r.get("full_scale").and_then(Json::as_bool);
-        if scale(base) != scale(cur) {
-            eprintln!(
-                "error: figure '{name}' was archived at a different scale (full_scale \
-                 {:?} vs {:?}); refusing to compare",
-                scale(base),
-                scale(cur)
-            );
-            exit(2);
+        if scale(b) != scale(c) {
+            // A scale switch in the gating transition is a usage error —
+            // comparing the numbers would be meaningless. In a historical
+            // (non-gating) trajectory step it is only reported: history is
+            // never gated, and one rescaled archive must not make the whole
+            // trajectory unwalkable.
+            if v.gating {
+                // Don't discard the history already compared: print the
+                // accumulated verdicts before refusing.
+                for line in &v.lines {
+                    println!("{line}");
+                }
+                eprintln!(
+                    "error: figure '{name}' was archived at a different scale (full_scale \
+                     {:?} vs {:?}); refusing to compare",
+                    scale(b),
+                    scale(c)
+                );
+                exit(2);
+            }
+            v.note(format!(
+                "figure '{name}': scale changed (full_scale {:?} -> {:?}); \
+                 skipping comparison (history)",
+                scale(b),
+                scale(c)
+            ));
+            continue;
         }
-
-        if let (Some(b), Some(c)) = (
-            base.get("elapsed_s").and_then(Json::as_f64),
-            cur.get("elapsed_s").and_then(Json::as_f64),
+        if let (Some(be), Some(ce)) = (
+            b.get("elapsed_s").and_then(Json::as_f64),
+            c.get("elapsed_s").and_then(Json::as_f64),
         ) {
-            let band = b * opts.threshold + opts.min_seconds;
-            v.check(&format!("{name} elapsed_s"), b, c, band);
+            let band = be * opts.threshold + opts.min_seconds;
+            v.check(&format!("{name} elapsed_s"), be, ce, band);
         }
 
         // Median ± MAD comparison for figures that archive robust stats.
@@ -202,42 +272,169 @@ fn main() {
                 r.get("data").and_then(|d| d.get(key)).and_then(Json::as_f64)
             };
             if let (Some(bm), Some(cm)) = (
-                stat(base, "predecoded_median_s"),
-                stat(cur, "predecoded_median_s"),
+                stat(b, "predecoded_median_s"),
+                stat(c, "predecoded_median_s"),
             ) {
-                let bmad = stat(base, "predecoded_mad_s").unwrap_or(0.0);
-                let cmad = stat(cur, "predecoded_mad_s").unwrap_or(0.0);
+                let bmad = stat(b, "predecoded_mad_s").unwrap_or(0.0);
+                let cmad = stat(c, "predecoded_mad_s").unwrap_or(0.0);
                 // Absolute per-trial medians vary with the machine the
                 // baseline was archived on, so the relative part of the band
                 // honours --threshold like the elapsed checks (the
-                // machine-independent check is the speedup gate below).
+                // machine-independent check is the speedup gate).
                 let band = (opts.threshold * bm).max(opts.mad_k * (bmad + cmad));
                 v.check("interp predecoded median", bm, cm, band);
-            }
-            if opts.min_interp_speedup > 0.0 {
-                match stat(cur, "speedup_median") {
-                    Some(s) if s >= opts.min_interp_speedup => v.lines.push(format!(
-                        "  {:<34} x{s:.3} (>= x{:.1})  ok",
-                        "interp speedup gate", opts.min_interp_speedup
-                    )),
-                    Some(s) => v.fail(format!(
-                        "interp speedup x{s:.3} below required x{:.1}",
-                        opts.min_interp_speedup
-                    )),
-                    None => v.fail("interp record lacks speedup_median".to_string()),
-                }
-            }
-            if let Some(data) = cur.get("data") {
-                if data.get("outputs_match").and_then(Json::as_bool) == Some(false) {
-                    v.fail("interp outputs diverged between engines".to_string());
-                }
             }
         }
     }
 
+    // Micro-bench groups: per-benchmark median ± MAD bands.
+    for bg in &base.groups {
+        let Some(group) = name_of(bg, "group") else {
+            continue;
+        };
+        let Some(cg) = find(&cur.groups, "group", group) else {
+            v.fail(format!("bench group '{group}' missing from {}", cur.path));
+            continue;
+        };
+        let benches = |g: &Json| {
+            g.get("benchmarks")
+                .and_then(Json::as_arr)
+                .map(|a| a.to_vec())
+                .unwrap_or_default()
+        };
+        let cur_benches = benches(cg);
+        for bb in benches(bg) {
+            let Some(id) = name_of(&bb, "id") else {
+                continue;
+            };
+            let Some(cb) = find(&cur_benches, "id", id) else {
+                v.fail(format!("benchmark '{group}/{id}' missing from {}", cur.path));
+                continue;
+            };
+            let stat = |r: &Json, key: &str| r.get(key).and_then(Json::as_f64);
+            if let (Some(bm), Some(cm)) = (stat(&bb, "median_s"), stat(cb, "median_s")) {
+                let bmad = stat(&bb, "mad_s").unwrap_or(0.0);
+                let cmad = stat(cb, "mad_s").unwrap_or(0.0);
+                let band = (opts.threshold * bm).max(opts.mad_k * (bmad + cmad));
+                v.check(&format!("{group}/{id} median"), bm, cm, band);
+            }
+        }
+    }
+}
+
+/// The machine-independent gates on the newest snapshot: interp speedup,
+/// sweep speedup, and the bit-identity flags.
+fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
+    fn stat<'a>(r: &'a Json, path: &[&str]) -> Option<&'a Json> {
+        let mut cur = r.get("data");
+        for key in path {
+            cur = cur.and_then(|d| d.get(key));
+        }
+        cur
+    }
+    if let Some(interp) = find(&newest.figures, "figure", "interp") {
+        if opts.min_interp_speedup > 0.0 {
+            match stat(interp, &["speedup_median"]).and_then(Json::as_f64) {
+                Some(s) if s >= opts.min_interp_speedup => v.note(format!(
+                    "{:<38} x{s:.3} (>= x{:.1})  ok",
+                    "interp speedup gate", opts.min_interp_speedup
+                )),
+                Some(s) => v.fail(format!(
+                    "interp speedup x{s:.3} below required x{:.1}",
+                    opts.min_interp_speedup
+                )),
+                None => v.fail("interp record lacks speedup_median".to_string()),
+            }
+        }
+        if stat(interp, &["outputs_match"]).and_then(Json::as_bool) == Some(false) {
+            v.fail("interp outputs diverged between engines".to_string());
+        }
+    }
+    if let Some(sweep) = find(&newest.figures, "figure", "sweep") {
+        if opts.min_sweep_speedup > 0.0 {
+            match stat(sweep, &["anchor", "speedup_vs_grid"]).and_then(Json::as_f64) {
+                Some(s) if s >= opts.min_sweep_speedup => v.note(format!(
+                    "{:<38} x{s:.3} (>= x{:.1})  ok",
+                    "sweep speedup gate (vs grid-parallel)", opts.min_sweep_speedup
+                )),
+                Some(s) => v.fail(format!(
+                    "sweep sharded+batched speedup x{s:.3} below required x{:.1} \
+                     over per-trial multicore grid search",
+                    opts.min_sweep_speedup
+                )),
+                None => v.fail("sweep record lacks anchor.speedup_vs_grid".to_string()),
+            }
+        }
+        if stat(sweep, &["anchor", "outputs_match"]).and_then(Json::as_bool) == Some(false) {
+            v.fail("sweep anchor outputs diverged between schedules".to_string());
+        }
+        if stat(sweep, &["all_identical"]).and_then(Json::as_bool) == Some(false) {
+            v.fail("a sharded sweep diverged from its serial run".to_string());
+        }
+        // Per-target bit-identity verdicts: a multicore/GPU probe that
+        // diverged from the single-core reference is a regression even when
+        // the sharded-vs-serial comparison still holds.
+        if let Some(workloads) = stat(sweep, &["workloads"]).and_then(Json::as_arr) {
+            for w in workloads {
+                let name = name_of(w, "name").unwrap_or("?");
+                for cell in w
+                    .get("targets")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                {
+                    if cell.get("matches_serial").and_then(Json::as_bool) == Some(false) {
+                        v.fail(format!(
+                            "sweep workload '{name}': {} target diverged from single-core",
+                            name_of(cell, "kind").unwrap_or("?")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let snapshots: Vec<Snapshot> = opts.paths.iter().map(|p| load_snapshot(p)).collect();
+    let mut v = Verdicts {
+        lines: Vec::new(),
+        regressions: 0,
+        gating: true,
+    };
+
+    let trajectory = snapshots.len() > 2;
+    for i in 0..snapshots.len() - 1 {
+        let base = &snapshots[i];
+        let cur = &snapshots[i + 1];
+        // Only the newest transition gates; earlier ones are history.
+        v.gating = i + 2 == snapshots.len();
+        if trajectory {
+            v.note(format!(
+                "-- step {}: {} -> {}{}",
+                i + 1,
+                base.path,
+                cur.path,
+                if v.gating { "  (gating)" } else { "" }
+            ));
+        }
+        compare(base, cur, &opts, &mut v);
+    }
+    v.gating = true;
+    gate_newest(snapshots.last().expect("at least two snapshots"), &opts, &mut v);
+
     println!(
-        "bench-diff: {} vs {} (threshold {:.2}, min-seconds {:.3}, mad-k {:.1})",
-        opts.baseline, opts.current, opts.threshold, opts.min_seconds, opts.mad_k
+        "bench-diff: {} snapshot(s), {} (threshold {:.2}, min-seconds {:.3}, mad-k {:.1})",
+        snapshots.len(),
+        if trajectory {
+            "trajectory mode"
+        } else {
+            "baseline vs current"
+        },
+        opts.threshold,
+        opts.min_seconds,
+        opts.mad_k
     );
     for line in &v.lines {
         println!("{line}");

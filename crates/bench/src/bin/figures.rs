@@ -10,6 +10,7 @@
 //! figures --fig 6        # GPU register sweep (Fig. 6)
 //! figures --fig 7        # compilation cost breakdown (Fig. 7)
 //! figures --batched      # per-trial vs batched compiled execution
+//! figures --sweep        # sweep subsystem: serial vs sharded+batched
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
 //!
@@ -110,7 +111,9 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 10] = ["2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp"];
+    const FIGS: [&str; 11] = [
+        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep",
+    ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
     // reduced-scale default and get archived as if it were a paper-scale run.
@@ -186,10 +189,21 @@ fn main() {
                 }
                 _ => fig = Some("interp".to_string()),
             },
+            // Shorthand for `--fig sweep`: the sweep subsystem's figure —
+            // serial vs grid-parallel vs sharded+batched on the Fig. 2
+            // model family, plus the registry sweep table.
+            "--sweep" => match &fig {
+                Some(f) if f != "sweep" => {
+                    eprintln!("error: --sweep conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("sweep".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp] [--batched] [--interp] [--full] [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep] \
+                     [--batched] [--interp] [--sweep] [--full] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -271,6 +285,13 @@ fn main() {
             (r.render(), r.to_json())
         });
     }
+    if want("sweep") {
+        emit.figure("sweep", || {
+            let (trials, samples) = if full { (2000, 7) } else { (240, 5) };
+            let r = bench::fig_sweep(trials, samples, full);
+            (r.render(), r.to_json())
+        });
+    }
 
     if !emit.finish(fig.is_none()) {
         eprintln!("error: no figure ran");
@@ -279,7 +300,5 @@ fn main() {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    distill_sweep::default_threads()
 }

@@ -17,8 +17,9 @@ use distill::{
 };
 use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
-    predator_prey, predator_prey_s, Workload,
+    predator_prey, predator_prey_s, registry, Scale, Tag, Workload,
 };
+use distill_sweep::{anchor_comparison, default_threads, run_sweep, SweepConfig, SweepReport};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -137,26 +138,38 @@ pub fn fig4(trial_scale: f64) -> Vec<Series> {
     out
 }
 
-/// Fig. 5a: Predator-Prey scaling (S, M, L, XL) — CPython vs Distill.
-pub fn fig5a(include_xl: bool) -> Vec<Series> {
+/// Fig. 5a: Predator-Prey scaling — CPython vs Distill. The scaling ladder
+/// is data-driven from the registry's [`Tag::Scaling`] entries, built at
+/// the scale matching the run's archive stamp; `full` also adds the XL
+/// variant (10⁶ evaluations).
+pub fn fig5a(full: bool) -> Vec<Series> {
+    let scale = if full { Scale::Full } else { Scale::Reduced };
     let mut out = Vec::new();
-    let mut variants = vec![("S", 2usize), ("M", 4), ("L", 6)];
-    if include_xl {
-        variants.push(("XL", 100));
+    let mut workloads: Vec<Workload> = registry::by_tag(Tag::Scaling)
+        .into_iter()
+        .map(|s| s.build(scale))
+        .collect();
+    if full {
+        workloads.push(predator_prey(100));
     }
-    for (label, levels) in variants {
-        let w = predator_prey(levels);
+    for w in workloads {
         let trials = 1;
+        let huge_grid = w
+            .model
+            .controller
+            .as_ref()
+            .map(|c| c.grid_size() >= 1_000_000)
+            .unwrap_or(false);
         let baseline = time_baseline(
             &w.model,
             &w.inputs,
             trials,
             ExecMode::CPython,
-            Some(if levels >= 100 { 20_000_000 } else { DNF_BUDGET }),
+            Some(if huge_grid { 20_000_000 } else { DNF_BUDGET }),
         );
         let distill = time_distill(&w.model, &w.inputs, trials, CompileConfig::default());
         out.push(Series {
-            title: format!("predator_prey_{label}"),
+            title: w.model.name.clone(),
             cells: vec![
                 Cell::time("CPython", baseline),
                 Cell::time("CPython-DISTILL", distill),
@@ -877,6 +890,159 @@ pub fn fig5c_skew(grid_size: usize, threads: usize) -> SkewReport {
     }
 }
 
+/// The sweep subsystem's figure: the Fig. 2 model family's trial space run
+/// serial, grid-parallel (`Target::MultiCore`, the pre-sweep way to use
+/// threads) and sharded + batched (this subsystem), plus the registry-driven
+/// sweep table over every [`Tag::Sweep`] family.
+#[derive(Debug, Clone)]
+pub struct SweepFigure {
+    /// The anchor comparison (medians over several samples).
+    pub anchor: distill_sweep::AnchorReport,
+    /// The registry sweep (one row per swept family).
+    pub table: SweepReport,
+}
+
+impl SweepFigure {
+    /// Render the anchor comparison and the per-family table.
+    pub fn render(&self) -> String {
+        let a = &self.anchor;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Sweep: serial vs grid-parallel vs sharded+batched ({}, {} trials x {} samples, {} threads, batch {})",
+            a.model, a.trials, a.samples, a.threads, a.batch
+        );
+        let _ = writeln!(out, "  {:<28} {:>12.6} s", "serial (per-trial)", a.serial_median_s);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.6} s",
+            "grid-parallel (per-trial)", a.grid_mcpu_median_s
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.6} s   ({} chunks, {} steals)",
+            "sharded + batched", a.sharded_median_s, a.chunks, a.steals
+        );
+        let _ = writeln!(
+            out,
+            "  speedup: x{:.3} vs serial, x{:.3} vs grid-parallel   outputs identical: {}",
+            a.speedup_vs_serial, a.speedup_vs_grid, a.outputs_match
+        );
+        let _ = writeln!(
+            out,
+            "  -- registry sweep ({} families, {} threads, batch {})",
+            self.table.workloads.len(),
+            self.table.threads,
+            self.table.batch
+        );
+        for w in &self.table.workloads {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>4} trials  serial {:>10.6} s  sharded {:>10.6} s  (x{:.3}, {} steals, identical: {})",
+                w.name, w.trials, w.serial_s, w.sharded_s, w.speedup, w.steals, w.identical
+            );
+        }
+        out
+    }
+
+    /// The figure as a JSON object (consumed by `bench-diff`'s sweep gate).
+    pub fn to_json(&self) -> Json {
+        let a = &self.anchor;
+        Json::obj([
+            (
+                "anchor",
+                Json::obj([
+                    ("model", Json::str(&a.model)),
+                    ("trials", a.trials.into()),
+                    ("threads", a.threads.into()),
+                    ("batch", a.batch.into()),
+                    ("samples", a.samples.into()),
+                    ("serial_median_s", a.serial_median_s.into()),
+                    ("grid_mcpu_median_s", a.grid_mcpu_median_s.into()),
+                    ("sharded_median_s", a.sharded_median_s.into()),
+                    ("speedup_vs_serial", a.speedup_vs_serial.into()),
+                    ("speedup_vs_grid", a.speedup_vs_grid.into()),
+                    ("steals", a.steals.into()),
+                    ("chunks", a.chunks.into()),
+                    ("outputs_match", a.outputs_match.into()),
+                ]),
+            ),
+            ("threads", self.table.threads.into()),
+            ("batch", self.table.batch.into()),
+            ("all_identical", self.table.all_identical().into()),
+            (
+                "workloads",
+                Json::Arr(
+                    self.table
+                        .workloads
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("name", Json::str(&w.name)),
+                                ("model", Json::str(&w.model)),
+                                ("trials", w.trials.into()),
+                                ("serial_s", w.serial_s.into()),
+                                ("sharded_s", w.sharded_s.into()),
+                                ("speedup", w.speedup.into()),
+                                ("chunks", w.chunks.into()),
+                                ("steals", w.steals.into()),
+                                ("identical", w.identical.into()),
+                                (
+                                    "targets",
+                                    Json::Arr(
+                                        w.targets
+                                            .iter()
+                                            .map(|c| {
+                                                let mut fields = vec![
+                                                    ("kind", Json::str(&c.kind)),
+                                                    ("label", Json::str(&c.label)),
+                                                ];
+                                                match &c.result {
+                                                    Ok(s) => fields.push(("seconds", (*s).into())),
+                                                    Err(e) => fields.push(("error", Json::str(e))),
+                                                }
+                                                if let Some(m) = c.matches_serial {
+                                                    fields.push(("matches_serial", m.into()));
+                                                }
+                                                if let Some(s) = c.steals {
+                                                    fields.push(("steals", s.into()));
+                                                }
+                                                if let Some(o) = c.occupancy {
+                                                    fields.push(("occupancy", o.into()));
+                                                }
+                                                if let Some(r) = c.registers_wanted {
+                                                    fields.push(("registers_wanted", r.into()));
+                                                }
+                                                Json::obj(fields)
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Run the sweep figure: the anchor comparison at `trials` trials over
+/// `samples` rounds, plus the registry sweep at its per-family trial counts
+/// — both at the scale the archived record is stamped with (`full` must
+/// match the `figures` run's own scale flag).
+pub fn fig_sweep(trials: usize, samples: usize, full: bool) -> SweepFigure {
+    let cfg = SweepConfig {
+        scale: if full { Scale::Full } else { Scale::Reduced },
+        threads: default_threads().max(2),
+        batch: 32,
+        ..SweepConfig::default()
+    };
+    let anchor = anchor_comparison(&cfg, trials, samples).expect("anchor comparison runs");
+    let table = run_sweep(&cfg).expect("registry sweep runs");
+    SweepFigure { anchor, table }
+}
+
 /// One refinement round of [`Fig2Report`].
 #[derive(Debug, Clone)]
 pub struct Fig2Step {
@@ -1141,6 +1307,34 @@ mod tests {
         let json = r.to_json().to_string();
         assert!(json.contains("\"steals\":"));
         assert!(r.render().contains("work stealing"));
+    }
+
+    #[test]
+    fn sweep_figure_composes_batching_with_sharding() {
+        let r = fig_sweep(24, 2, false);
+        assert!(r.anchor.outputs_match, "sharded must equal serial: {:?}", r.anchor);
+        assert!(r.table.all_identical());
+        assert_eq!(
+            r.table.workloads.len(),
+            distill_models::by_tag(distill_models::Tag::Sweep).len()
+        );
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"speedup_vs_grid\":"));
+        assert!(json.contains("\"all_identical\":true"));
+        let text = r.render();
+        assert!(text.contains("sharded + batched"));
+        assert!(text.contains("registry sweep"));
+    }
+
+    #[test]
+    fn fig5a_is_registry_driven() {
+        let series = fig5a(false);
+        let scaling = distill_models::by_tag(distill_models::Tag::Scaling);
+        assert_eq!(series.len(), scaling.len());
+        for (s, spec) in series.iter().zip(scaling) {
+            assert_eq!(s.title, spec.build(distill_models::Scale::Reduced).model.name);
+            assert_eq!(s.cells.len(), 2);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use distill::{
     RunSpec, Session, Target,
 };
 use distill_bench as bench;
-use distill_models::{botvinick_stroop, necker_cube_s, predator_prey};
+use distill_models::{botvinick_stroop, necker_cube_s, predator_prey, registry, Scale, Tag};
 
 #[test]
 fn fig2_mesh_refinement_runs() {
@@ -50,9 +50,31 @@ fn fig4_workload_runs_per_environment() {
 }
 
 #[test]
+fn fig4_registry_models_run_baseline_and_distill() {
+    // The figure's model list is data-driven from the registry: every
+    // Figure4-tagged family must run one trial under the CPython baseline
+    // and under Distill (the figure itself scales the trial counts).
+    for spec in registry::by_tag(Tag::Figure4) {
+        let w = spec.build(Scale::Reduced);
+        match time_baseline(&w.model, &w.inputs, 1, ExecMode::CPython, Some(bench::DNF_BUDGET)) {
+            Measurement::Time(d) => assert!(d.as_nanos() > 0, "{}", spec.name),
+            Measurement::Failed(msg) => panic!("{}: baseline failed: {msg}", spec.name),
+        }
+        match time_distill(&w.model, &w.inputs, 1, CompileConfig::default()) {
+            Measurement::Time(d) => assert!(d.as_nanos() > 0, "{}", spec.name),
+            Measurement::Failed(msg) => panic!("{}: Distill path failed: {msg}", spec.name),
+        }
+    }
+}
+
+#[test]
 fn fig5a_workload_scales_baseline_vs_distill() {
-    // Mirrors benches/fig5a_scaling.rs on the S variant only.
-    let w = predator_prey(2);
+    // Data-driven from the registry's scaling ladder; run the smallest
+    // variant end to end on both paths (the ladder's first entry is the S
+    // variant the old hand-rolled test used).
+    let scaling = registry::by_tag(Tag::Scaling);
+    assert_eq!(scaling[0].build(Scale::Reduced).model.name, predator_prey(2).model.name);
+    let w = scaling[0].build(Scale::Reduced);
     let spec = RunSpec::new(w.inputs.clone(), 1);
     Session::new(&w.model)
         .target(Target::Baseline(ExecMode::CPython))

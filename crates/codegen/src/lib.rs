@@ -34,7 +34,7 @@ use distill_ir::{
     Constant, FuncId, FunctionBuilder, GlobalId, Module, Ty, ValueId,
 };
 use distill_opt::{OptLevel, PassManager, PassStats};
-use distill_pyvm::{CmpOp, Expr, MathFn, NumBinOp, SplitMix64};
+use distill_pyvm::{CmpOp, Expr, MathFn, NumBinOp};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -184,6 +184,27 @@ impl Layout {
         }
         flat
     }
+
+    /// Build the `batch_ext` staging image for `count` trials starting at
+    /// absolute trial index `start`: trial `start + k`'s flattened input
+    /// (cycled through `flats`) lands at stride `ext_len * k`, matching what
+    /// the generated `trials_batch(start, count)` entry point copies into
+    /// `ext_input` per iteration. One definition serves every driver that
+    /// stages a batch — the serial batched path and each worker of the
+    /// sharded multicore path stage chunks identically, which is what keeps
+    /// their outputs bit-identical.
+    pub fn stage_batch(&self, flats: &[Vec<f64>], start: usize, count: usize) -> Vec<f64> {
+        let stride = self.ext_len;
+        let mut staging = vec![0.0; count * stride];
+        if stride == 0 || flats.is_empty() {
+            return staging;
+        }
+        for k in 0..count {
+            let flat = &flats[(start + k) % flats.len()];
+            staging[k * stride..(k + 1) * stride].copy_from_slice(&flat[..stride]);
+        }
+        staging
+    }
 }
 
 /// The product of compilation: the IR module, the layout, and handles to the
@@ -319,13 +340,7 @@ pub fn compile(model: &Composition, config: CompileConfig) -> Result<CompiledMod
     } else {
         0
     };
-    let globals = declare_globals(
-        &mut module,
-        model,
-        &layout,
-        config.seed,
-        effective_batch_capacity,
-    );
+    let globals = declare_globals(&mut module, model, &layout, effective_batch_capacity);
 
     // --- node functions (both variants) ------------------------------------
     let mut node_funcs = Vec::with_capacity(model.mechanisms.len());
@@ -401,7 +416,6 @@ fn declare_globals(
     module: &mut Module,
     model: &Composition,
     layout: &Layout,
-    seed: u64,
     batch_capacity: usize,
 ) -> Globals {
     let f64_arr = |n: usize| Ty::array(Ty::F64, n.max(1));
@@ -472,11 +486,11 @@ fn declare_globals(
         true,
     );
 
-    // Per-node PRNG streams seeded exactly like the baseline runner.
-    let rng_init: Vec<Constant> = (0..n_nodes.max(1))
-        .map(|i| Constant::I64(SplitMix64::stream_for(seed, i as u64).state as i64))
-        .collect();
-    let rng = module.add_global(global_names::RNG, i64_arr(n_nodes), rng_init, true);
+    // Per-node PRNG state slots. No seeded initializer: every execution
+    // path — the trial prologue, the batched entry point (which calls it),
+    // and the per-node driver — derives the streams from (seed, trial,
+    // node) before any draw, exactly like the baseline runner.
+    let rng = module.add_zeroed_global(global_names::RNG, i64_arr(n_nodes), true);
     let counters = module.add_zeroed_global(global_names::COUNTERS, i64_arr(n_nodes), true);
     let passes = module.add_zeroed_global(global_names::PASSES, i64_arr(1), true);
     let eval_rng = module.add_zeroed_global(global_names::EVAL_RNG, i64_arr(1), true);
@@ -875,6 +889,34 @@ fn gen_node_fn(
     Ok(fid)
 }
 
+/// Emit IR computing `SplitMix64::stream_for(seed, index).state`: one
+/// splitmix64 step of `seed ^ index * 0xA0761D6478BD642F`. Shared by the
+/// grid-evaluation kernel (per-evaluation streams) and the trial prologue
+/// (per-trial node streams); both must mirror the host implementation in
+/// `distill_pyvm::SplitMix64` bit-for-bit, so the derivation lives in one
+/// place.
+fn emit_stream_for(b: &mut FunctionBuilder<'_>, seed: u64, index: ValueId) -> ValueId {
+    let mix_const = b.const_i64(0xA076_1D64_78BD_642Fu64 as i64);
+    let seed_const = b.const_i64(seed as i64);
+    let mixed = b.imul(index, mix_const);
+    let state0 = b.bin(distill_ir::BinOp::Xor, seed_const, mixed);
+    let golden = b.const_i64(0x9E37_79B9_7F4A_7C15u64 as i64);
+    let s1 = b.iadd(state0, golden);
+    let sh30 = b.const_i64(30);
+    let sh27 = b.const_i64(27);
+    let sh31 = b.const_i64(31);
+    let c1 = b.const_i64(0xBF58_476D_1CE4_E5B9u64 as i64);
+    let c2 = b.const_i64(0x94D0_49BB_1331_11EBu64 as i64);
+    let z1 = b.bin(distill_ir::BinOp::LShr, s1, sh30);
+    let z1x = b.bin(distill_ir::BinOp::Xor, s1, z1);
+    let z1m = b.imul(z1x, c1);
+    let z2 = b.bin(distill_ir::BinOp::LShr, z1m, sh27);
+    let z2x = b.bin(distill_ir::BinOp::Xor, z1m, z2);
+    let z2m = b.imul(z2x, c2);
+    let z3 = b.bin(distill_ir::BinOp::LShr, z2m, sh31);
+    b.bin(distill_ir::BinOp::Xor, z2m, z3)
+}
+
 /// Generate `grid_eval(index) -> cost` (§3.6).
 fn gen_grid_eval(
     module: &mut Module,
@@ -904,27 +946,7 @@ fn gen_grid_eval(
     let index = b.param(0);
 
     // ---- derive the per-evaluation PRNG stream ----------------------------
-    // Mirrors SplitMix64::stream_for(seed, index): one splitmix64 step of
-    // (seed ^ index * 0xA0761D6478BD642F).
-    let mix_const = b.const_i64(0xA076_1D64_78BD_642Fu64 as i64);
-    let seed_const = b.const_i64(ctrl.seed as i64);
-    let mixed = b.imul(index, mix_const);
-    let state0 = b.bin(distill_ir::BinOp::Xor, seed_const, mixed);
-    let golden = b.const_i64(0x9E37_79B9_7F4A_7C15u64 as i64);
-    let s1 = b.iadd(state0, golden);
-    let sh30 = b.const_i64(30);
-    let sh27 = b.const_i64(27);
-    let sh31 = b.const_i64(31);
-    let c1 = b.const_i64(0xBF58_476D_1CE4_E5B9u64 as i64);
-    let c2 = b.const_i64(0x94D0_49BB_1331_11EBu64 as i64);
-    let z1 = b.bin(distill_ir::BinOp::LShr, s1, sh30);
-    let z1x = b.bin(distill_ir::BinOp::Xor, s1, z1);
-    let z1m = b.imul(z1x, c1);
-    let z2 = b.bin(distill_ir::BinOp::LShr, z1m, sh27);
-    let z2x = b.bin(distill_ir::BinOp::Xor, z1m, z2);
-    let z2m = b.imul(z2x, c2);
-    let z3 = b.bin(distill_ir::BinOp::LShr, z2m, sh31);
-    let stream = b.bin(distill_ir::BinOp::Xor, z2m, z3);
+    let stream = emit_stream_for(&mut b, ctrl.seed, index);
     let eval_rng_base = b.global_addr(globals.eval_rng);
     let eval_rng_ptr = b.const_elem_addr(eval_rng_base, 0);
     b.store(eval_rng_ptr, stream);
@@ -1043,6 +1065,22 @@ fn gen_trial_fn(
             let sp = b.const_elem_addr(sbase, i);
             b.store(sp, v);
         }
+    }
+
+    // Re-derive every node's PRNG stream from (seed, trial, node) — the
+    // mirror of `SplitMix64::trial_node_stream` the baseline runner applies
+    // at the top of each trial. Trials become independent random-access
+    // units: any execution order (per-trial re-entry, `trials_batch`, or the
+    // sharded multicore driver) draws identical numbers for trial `t`.
+    let shift32 = b.const_i64(1i64 << 32);
+    let trial_stream_base = b.imul(trial_idx, shift32);
+    for i in 0..model.mechanisms.len() {
+        let node_c = b.const_i64(i as i64);
+        let idx = b.iadd(trial_stream_base, node_c);
+        let stream = emit_stream_for(&mut b, seed, idx);
+        let rbase = b.global_addr(globals.rng);
+        let rp = b.const_elem_addr(rbase, i);
+        b.store(rp, stream);
     }
 
     // ---- controller grid search -------------------------------------------

@@ -9,7 +9,7 @@
 
 use crate::condition::Condition;
 use crate::mechanism::{Framework, Mechanism, NodeComputation};
-use distill_pyvm::{Expr, MathFn};
+use distill_pyvm::{CmpOp, Expr, MathFn};
 
 /// `y = slope * x + intercept`, element-wise over a port of size `n`.
 pub fn linear(name: &str, n: usize, slope: f64, intercept: f64) -> Mechanism {
@@ -216,6 +216,73 @@ pub fn gaussian_observer(name: &str, dims: usize, sigma_max: f64, sigma_gain: f6
     .with_param("sigma_gain", vec![sigma_gain])
     // `attention` is the controlled parameter the grid search writes into.
     .with_param("attention", vec![0.0])
+}
+
+/// A [`gaussian_observer`] that *deliberates* at high attention: when the
+/// controlled `attention` exceeds `threshold`, each observed element is
+/// refined by the mean of `deliberation` extra standard-normal samples
+/// (scaled by `refine_gain`). Attention therefore buys a better estimate at
+/// a real computational price — the evaluation cost of a grid point depends
+/// on the attention levels its allocation decodes to, which makes the grid
+/// *cost-skewed*: contiguous index ranges share the high-stride signal's
+/// level and so cluster cheap and expensive cells together, the load shape
+/// that serializes statically-chunked parallel sweeps and that work stealing
+/// rebalances.
+///
+/// Both arms of the attention gate are honest about PRNG use: the refinement
+/// draws only happen when the gate is taken (the interpreter short-circuits
+/// and the compiled lowering branches), so the baseline, compiled, and every
+/// parallel schedule consume identical streams.
+pub fn deliberative_observer(
+    name: &str,
+    dims: usize,
+    sigma_max: f64,
+    sigma_gain: f64,
+    deliberation: usize,
+) -> Mechanism {
+    let k = deliberation.max(1);
+    let outputs = vec![(0..dims)
+        .map(|i| {
+            let sigma = Expr::call2(
+                MathFn::Max,
+                Expr::sub(
+                    Expr::param("sigma_max"),
+                    Expr::mul(Expr::param("attention"), Expr::param("sigma_gain")),
+                ),
+                Expr::lit(0.0),
+            );
+            let base = Expr::add(Expr::input_elem(0, i), Expr::mul(sigma, Expr::RandNormal));
+            let mut refine = Expr::RandNormal;
+            for _ in 1..k {
+                refine = Expr::add(Expr::RandNormal, refine);
+            }
+            let refine_mean = Expr::mul(Expr::lit(1.0 / k as f64), refine);
+            let gate = Expr::Cmp(
+                CmpOp::Gt,
+                Box::new(Expr::param("attention")),
+                Box::new(Expr::param("threshold")),
+            );
+            let deliberated = Expr::If(
+                Box::new(gate),
+                Box::new(Expr::mul(Expr::param("refine_gain"), refine_mean)),
+                Box::new(Expr::lit(0.0)),
+            );
+            Expr::add(base, deliberated)
+        })
+        .collect()];
+    Mechanism::new(
+        name,
+        NodeComputation {
+            outputs,
+            state_updates: vec![],
+        },
+    )
+    .with_inputs(vec![dims])
+    .with_param("sigma_max", vec![sigma_max])
+    .with_param("sigma_gain", vec![sigma_gain])
+    .with_param("attention", vec![0.0])
+    .with_param("threshold", vec![0.5])
+    .with_param("refine_gain", vec![0.05])
 }
 
 /// A recurrent "Necker cube vertex" unit: a leaky integrator driven by the

@@ -186,10 +186,11 @@ impl BaselineRunner {
         let init_state: Vec<DynValue> = model.mechanisms.iter().map(|m| m.state_dict()).collect();
         let mut state = init_state.clone();
 
-        // One PRNG stream per node, persistent across trials.
-        let mut node_rngs: Vec<SplitMix64> = (0..model.mechanisms.len())
-            .map(|i| SplitMix64::stream_for(self.seed, i as u64))
-            .collect();
+        // One PRNG stream per node, derived at the start of every trial from
+        // `(seed, trial, node)` so trials are independent random-access
+        // units (compiled drivers rely on this to shard the trial space).
+        // The placeholder states are overwritten before any draw.
+        let mut node_rngs: Vec<SplitMix64> = vec![SplitMix64::new(0); model.mechanisms.len()];
 
         let shapes: Vec<Vec<usize>> = model
             .mechanisms
@@ -215,6 +216,9 @@ impl BaselineRunner {
             let input = &inputs[trial % inputs.len()];
             if model.reset_state_each_trial {
                 state = init_state.clone();
+            }
+            for (node, rng) in node_rngs.iter_mut().enumerate() {
+                *rng = SplitMix64::trial_node_stream(self.seed, trial as u64, node as u64);
             }
             let mut prev = zero_buffers();
             let mut cur = zero_buffers();

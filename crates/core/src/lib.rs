@@ -60,7 +60,7 @@ pub use distill_pyvm::ExecMode;
 mod runner;
 mod session;
 
-pub use runner::{RunResult, RunSpec, Runner};
+pub use runner::{RunResult, RunSpec, Runner, ShardStats};
 pub use session::{Session, Target};
 
 /// One trial's external input: one vector per input node, in
@@ -114,105 +114,6 @@ impl From<RunError> for DistillError {
     fn from(e: RunError) -> Self {
         DistillError::Baseline(e)
     }
-}
-
-/// Results of running a compiled model.
-#[deprecated(note = "use distill::RunResult (the Session/Runner API)")]
-pub type CompiledRunResult = RunResult;
-
-/// Drives a compiled model through the execution engine.
-///
-/// Deprecated shim over the [`Session`]/[`Runner`] API: it is what
-/// [`Session::build`] gives you for [`Target::SingleCore`], minus the
-/// uniform contract. New code should build a runner instead.
-#[deprecated(note = "use distill::Session with Target::SingleCore")]
-pub struct CompiledRunner {
-    driver: runner::CompiledDriver,
-}
-
-#[allow(deprecated)]
-impl CompiledRunner {
-    /// Create a runner from an artifact and the model it was compiled from.
-    pub fn with_model(compiled: CompiledModel, model: Composition) -> CompiledRunner {
-        CompiledRunner {
-            driver: runner::CompiledDriver::new(compiled, model),
-        }
-    }
-
-    /// The compiled artifact.
-    pub fn compiled(&self) -> &CompiledModel {
-        &self.driver.compiled
-    }
-
-    /// Borrow the engine (e.g. to inspect globals after a run).
-    pub fn engine(&self) -> &Engine {
-        &self.driver.engine
-    }
-
-    /// Run `trials` trials, cycling through `inputs`.
-    ///
-    /// # Errors
-    /// Returns [`DistillError`] on spec mismatches or engine failures.
-    pub fn run(
-        &mut self,
-        inputs: &[TrialInput],
-        trials: usize,
-    ) -> Result<RunResult, DistillError> {
-        self.driver.run(
-            &RunSpec::new(inputs.to_vec(), trials),
-            &runner::GridStrategy::Serial,
-        )
-    }
-
-    /// Run the controller grid search of one trial across `threads` CPU
-    /// cores (Fig. 5c, `mCPU`).
-    ///
-    /// # Errors
-    /// Returns [`DistillError::Driver`] when the model has no controller.
-    pub fn run_grid_multicore(
-        &mut self,
-        input: &TrialInput,
-        threads: usize,
-    ) -> Result<ParallelResult, DistillError> {
-        let (grid, _) = self
-            .driver
-            .grid_only(input, &runner::GridStrategy::MultiCore { threads })?;
-        grid.ok_or_else(|| DistillError::Driver("grid search produced no result".into()))
-    }
-
-    /// Run the controller grid search of one trial on the simulated GPU
-    /// (Fig. 5c / Fig. 6).
-    ///
-    /// # Errors
-    /// Returns [`DistillError::Driver`] when the model has no controller.
-    pub fn run_grid_gpu(
-        &mut self,
-        input: &TrialInput,
-        config: &GpuConfig,
-    ) -> Result<GpuRunReport, DistillError> {
-        let (_, gpu) = self
-            .driver
-            .grid_only(input, &runner::GridStrategy::Gpu(*config))?;
-        gpu.ok_or_else(|| DistillError::Driver("grid search produced no result".into()))
-    }
-}
-
-/// Compile a model and attach a runner in one step.
-///
-/// Deprecated shim over [`Session`]: equivalent to
-/// `Session::new(model).compile_config(config)` built for
-/// [`Target::SingleCore`].
-///
-/// # Errors
-/// Propagates [`DistillError::Codegen`] failures.
-#[deprecated(note = "use distill::Session::new(model).build()")]
-#[allow(deprecated)]
-pub fn compile_and_load(
-    model: &Composition,
-    config: CompileConfig,
-) -> Result<CompiledRunner, DistillError> {
-    let compiled = compile(model, config)?;
-    Ok(CompiledRunner::with_model(compiled, model.clone()))
 }
 
 /// How long a configuration took, or why it could not complete — the unit of
@@ -394,6 +295,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_execution_matches_serial_bitwise() {
+        // Stochastic model with a controller: the strongest determinism case.
+        let w = distill_models::predator_prey_s();
+        let serial = Session::new(&w.model)
+            .build()
+            .unwrap()
+            .run(&RunSpec::new(w.inputs.clone(), 17))
+            .unwrap();
+        assert!(serial.shards.is_none());
+        for (shards, batch) in [(4, 8), (4, 1), (2, 5), (8, 64)] {
+            let spec = RunSpec::new(w.inputs.clone(), 17)
+                .with_batch(batch)
+                .with_shards(shards);
+            let sharded = Session::new(&w.model).build().unwrap().run(&spec).unwrap();
+            assert_eq!(
+                serial.outputs, sharded.outputs,
+                "shards={shards} batch={batch}"
+            );
+            assert_eq!(serial.passes, sharded.passes);
+            let stats = sharded.shards.expect("sharded run reports stats");
+            assert!(stats.threads >= 1 && stats.chunks >= 1);
+        }
+    }
+
+    #[test]
     fn build_with_reuses_a_precompiled_artifact() {
         let (model, inputs) = chain_model();
         let artifact = compile(&model, CompileConfig::default()).unwrap();
@@ -408,37 +334,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_grid_calls_reject_oversized_inputs() {
-        // Regression: `run_grid_multicore`/`run_grid_gpu` with a wrong-arity
-        // input used to panic inside input flattening; they must return a
-        // driver error like every other entry point.
+    fn oversized_grid_search_inputs_are_driver_errors() {
+        // Regression (formerly guarded via the deleted shims): a wrong-arity
+        // input on a grid-searching target used to panic inside input
+        // flattening; it must be a driver error like every other entry point.
         let w = distill_models::predator_prey_s();
-        let mut runner = compile_and_load(&w.model, CompileConfig::default()).unwrap();
         let oversized: TrialInput = vec![vec![0.5; 70]];
-        let err = runner.run_grid_multicore(&oversized, 2).unwrap_err();
-        assert!(matches!(err, DistillError::Driver(_)), "{err}");
-        let err = runner
-            .run_grid_gpu(&oversized, &GpuConfig::default())
-            .unwrap_err();
-        assert!(matches!(err, DistillError::Driver(_)), "{err}");
+        for target in [
+            Target::MultiCore { threads: 2 },
+            Target::Gpu(GpuConfig::default()),
+        ] {
+            let err = Session::new(&w.model)
+                .target(target)
+                .build()
+                .unwrap()
+                .run(&RunSpec::new(vec![oversized.clone()], 1))
+                .unwrap_err();
+            assert!(matches!(err, DistillError::Driver(_)), "{err}");
+        }
         // Well-formed inputs still work.
-        assert!(runner.run_grid_multicore(&w.inputs[0], 2).is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let (model, inputs) = chain_model();
-        let mut shim = compile_and_load(&model, CompileConfig::default()).unwrap();
-        let via_shim = shim.run(&inputs, 2).unwrap();
-        let via_session = Session::new(&model)
+        assert!(Session::new(&w.model)
+            .target(Target::MultiCore { threads: 2 })
             .build()
             .unwrap()
-            .run(&RunSpec::new(inputs, 2))
-            .unwrap();
-        assert_eq!(via_shim.outputs, via_session.outputs);
-        assert!(shim.compiled().trial_func.is_some());
-        assert!(shim.engine().stats().instructions > 0);
+            .run(&RunSpec::new(w.inputs.clone(), 1))
+            .is_ok());
     }
 }

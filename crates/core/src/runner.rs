@@ -14,7 +14,10 @@ use distill_cogmodel::runner::TrialInput;
 use distill_cogmodel::{BaselineRunner, Composition};
 use distill_codegen::global_names as gn;
 use distill_codegen::CompiledModel;
-use distill_exec::{gpu, mcpu, Engine, GpuConfig, GpuRunReport, ParallelResult, Value};
+use distill_exec::{
+    gpu, mcpu, ChunkQueue, Engine, GpuConfig, GpuRunReport, GrabCount, ParallelResult, Value,
+};
+use distill_pyvm::SplitMix64;
 
 /// What to execute: the trial inputs (cycled), how many trials, and how many
 /// trials a compiled backend may run per engine entry.
@@ -29,6 +32,15 @@ pub struct RunSpec {
     /// interpreter, per-node drivers — execute trial-by-trial regardless;
     /// results are identical either way.
     pub batch: usize,
+    /// Worker threads sharding the trial space on whole-model compiled
+    /// backends (`1` = serial). Workers pull `batch`-sized chunks of trials
+    /// from a work-stealing queue, each on its own engine copy; per-trial
+    /// PRNG streams are derived from the trial index, so outputs are
+    /// bit-identical to a serial run at any thread count. Backends without
+    /// the sharded path — the baseline interpreter, per-node drivers, models
+    /// whose state persists across trials — run serially regardless; results
+    /// are identical either way.
+    pub shards: usize,
 }
 
 impl RunSpec {
@@ -38,6 +50,7 @@ impl RunSpec {
             inputs,
             trials,
             batch: 1,
+            shards: 1,
         }
     }
 
@@ -47,6 +60,28 @@ impl RunSpec {
         self.batch = batch.max(1);
         self
     }
+
+    /// Set the trial-sharding worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> RunSpec {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// Statistics of a sharded trial run ([`RunSpec::with_shards`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Worker threads that drained the trial queue.
+    pub threads: usize,
+    /// Chunks the trial space was split into (one `trials_batch` call — or
+    /// one per-trial loop — per chunk).
+    pub chunks: usize,
+    /// Trials per chunk (the effective batch size).
+    pub batch: usize,
+    /// Chunk grabs beyond each worker's first — the same redistribution
+    /// measure the grid scheduler reports.
+    pub steals: u64,
 }
 
 /// Results of a run, uniform across backends.
@@ -62,6 +97,9 @@ pub struct RunResult {
     /// The simulated GPU's report for the last trial, when running on
     /// [`crate::Target::Gpu`].
     pub gpu: Option<GpuRunReport>,
+    /// Shard statistics, when the run sharded its trial space across worker
+    /// threads ([`RunSpec::with_shards`]).
+    pub shards: Option<ShardStats>,
 }
 
 impl RunResult {
@@ -71,6 +109,7 @@ impl RunResult {
             passes: Vec::with_capacity(trials),
             grid: None,
             gpu: None,
+            shards: None,
         }
     }
 }
@@ -164,6 +203,7 @@ impl Runner for BaselineBackend {
             passes: r.passes,
             grid: None,
             gpu: None,
+            shards: None,
         })
     }
 
@@ -239,13 +279,53 @@ impl CompiledDriver {
         }
         let flats = self.flatten_inputs(&spec.inputs);
         match (self.compiled.trial_func, grid) {
-            (Some(trial_fn), GridStrategy::Serial) => self.run_whole(spec, &flats, trial_fn),
+            (Some(trial_fn), GridStrategy::Serial) => {
+                // The sharded path requires trial independence: per-trial
+                // PRNG streams always hold (trial prologue), but state that
+                // persists across trials serializes them — such models fall
+                // back to the (identical-output) serial path.
+                if spec.shards > 1 && spec.trials > 1 && self.model.reset_state_each_trial {
+                    self.run_sharded(spec, &flats, trial_fn)
+                } else {
+                    self.run_whole(spec, &flats, trial_fn)
+                }
+            }
             _ => self.run_per_node(spec, &flats, grid),
         }
     }
 
+    /// Resolve the batched entry point for a spec: `Some` when the spec
+    /// batches and the artifact was compiled with batch capacity, `None` for
+    /// the per-trial path.
+    ///
+    /// # Errors
+    /// A batching spec against an artifact without the entry point is a
+    /// driver error.
+    fn resolve_batch_fn(&self, spec: &RunSpec) -> Result<Option<distill_ir::FuncId>, DistillError> {
+        if spec.batch > 1 && self.compiled.batch_capacity > 0 {
+            Ok(Some(self.compiled.batch_func.ok_or_else(|| {
+                DistillError::Driver("artifact has no batched entry point".into())
+            })?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Trials per chunk for a resolved batch mode: one `trials_batch` call
+    /// per chunk when batching (capped by the staging capacity), the whole
+    /// requested batch as a per-trial loop otherwise.
+    fn chunk_trials(&self, spec: &RunSpec, batch_fn: Option<distill_ir::FuncId>) -> usize {
+        match batch_fn {
+            Some(_) => spec.batch.min(self.compiled.batch_capacity),
+            None => spec.batch,
+        }
+        .max(1)
+    }
+
     /// Whole-model execution: one compiled call per trial, or one per batch
-    /// through the generated `trials_batch` entry point.
+    /// through the generated `trials_batch` entry point. Chunk execution is
+    /// shared with the sharded path ([`run_trial_chunk`]), so the two can
+    /// never drift apart.
     fn run_whole(
         &mut self,
         spec: &RunSpec,
@@ -253,57 +333,129 @@ impl CompiledDriver {
         trial_fn: distill_ir::FuncId,
     ) -> Result<RunResult, DistillError> {
         let mut result = RunResult::with_capacity(spec.trials);
-        let capacity = self.compiled.batch_capacity;
-        let out_len = self.compiled.layout.trial_output_len;
-        if spec.batch > 1 && capacity > 0 {
-            let batch_fn = self
-                .compiled
-                .batch_func
-                .ok_or_else(|| DistillError::Driver("artifact has no batched entry point".into()))?;
-            let ext_stride = self.compiled.layout.ext_len;
-            let out_stride = out_len;
-            let mut done = 0usize;
-            while done < spec.trials {
-                let n = spec.batch.min(capacity).min(spec.trials - done);
-                // Stage the batch's inputs in one global write.
-                if ext_stride > 0 {
-                    let mut staging = vec![0.0; n * ext_stride];
-                    for k in 0..n {
-                        let flat = &flats[(done + k) % flats.len()];
-                        staging[k * ext_stride..(k + 1) * ext_stride]
-                            .copy_from_slice(&flat[..ext_stride]);
-                    }
-                    self.engine.write_global_f64(gn::BATCH_EXT, &staging)?;
+        let batch_fn = self.resolve_batch_fn(spec)?;
+        let chunk = self.chunk_trials(spec, batch_fn);
+        let mut done = 0usize;
+        while done < spec.trials {
+            let n = chunk.min(spec.trials - done);
+            let (outs, passes) = run_trial_chunk(
+                &mut self.engine,
+                &self.compiled.layout,
+                batch_fn,
+                trial_fn,
+                flats,
+                done,
+                n,
+            )?;
+            result.outputs.extend(outs);
+            result.passes.extend(passes);
+            done += n;
+        }
+        Ok(result)
+    }
+
+    /// Sharded whole-model execution ([`RunSpec::with_shards`]): worker
+    /// threads pull `batch`-sized chunks of the trial space from a
+    /// work-stealing [`ChunkQueue`] — the same scheduling substrate as the
+    /// multicore grid search, lifted from grid level to trial level. Each
+    /// worker owns an engine copy (module and predecoded code shared behind
+    /// `Arc`, only the memory image is cloned), stages its chunk through
+    /// [`distill_codegen::Layout::stage_batch`] and runs it through the
+    /// compiled `trials_batch` entry point (or trial-by-trial when the spec
+    /// does not batch). Trial outputs depend only on the trial index and its
+    /// input — the trial prologue re-derives PRNG streams per trial — so the
+    /// stitched result is bit-identical to [`CompiledDriver::run_whole`] at
+    /// any thread count and any schedule.
+    fn run_sharded(
+        &mut self,
+        spec: &RunSpec,
+        flats: &[Vec<f64>],
+        trial_fn: distill_ir::FuncId,
+    ) -> Result<RunResult, DistillError> {
+        let batch_fn = self.resolve_batch_fn(spec)?;
+        // Trials per chunk: one `trials_batch` call when batching, a
+        // per-trial loop otherwise (grouping keeps queue traffic amortized
+        // either way).
+        let chunk = self.chunk_trials(spec, batch_fn);
+        let n_chunks = spec.trials.div_ceil(chunk);
+        let threads = spec.shards.min(n_chunks).max(1);
+        let layout = &self.compiled.layout;
+        // Chunks (not trials) are the queue's unit; balance the grab size so
+        // a shared-counter RMW amortizes over many chunks on fine-grained
+        // specs while skew can still redistribute (same policy as the grid
+        // scheduler).
+        let queue = ChunkQueue::balanced(n_chunks, threads, 8, 1024);
+
+        type ChunkResult = (usize, Vec<Vec<f64>>, Vec<u64>);
+        type WorkerResult = (Vec<ChunkResult>, u64, distill_exec::EngineStats);
+        let worker_results: Vec<Result<WorkerResult, DistillError>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..threads {
+                    let queue = &queue;
+                    // Thread-local copy of every read-write structure.
+                    let mut engine = self.engine.clone();
+                    handles.push(scope.spawn(move || {
+                        let mut mine: Vec<ChunkResult> = Vec::new();
+                        let mut grabs = GrabCount::default();
+                        // Worker stats start from the template's snapshot;
+                        // only the delta is this worker's own work.
+                        let base_stats = engine.stats();
+                        while let Some(range) = queue.grab() {
+                            grabs.record();
+                            for c in range {
+                                let lo = c * chunk;
+                                let n = chunk.min(spec.trials - lo);
+                                let (outs, passes) = run_trial_chunk(
+                                    &mut engine,
+                                    layout,
+                                    batch_fn,
+                                    trial_fn,
+                                    flats,
+                                    lo,
+                                    n,
+                                )?;
+                                mine.push((c, outs, passes));
+                            }
+                        }
+                        Ok((mine, grabs.steals(), engine.stats_since(&base_stats)))
+                    }));
                 }
-                self.engine.call(
-                    batch_fn,
-                    &[Value::I64(done as i64), Value::I64(n as i64)],
-                )?;
-                // Read only the chunk's slots, one global read each.
-                let outs = self
-                    .engine
-                    .read_global_f64_prefix(gn::BATCH_OUT, n * out_stride)?;
-                let passes = self.engine.read_global_f64_prefix(gn::BATCH_PASSES, n)?;
-                for k in 0..n {
-                    result
-                        .outputs
-                        .push(outs[k * out_stride..k * out_stride + out_len].to_vec());
-                    result.passes.push(passes[k] as u64);
-                }
-                done += n;
-            }
-        } else {
-            for trial in 0..spec.trials {
-                self.engine
-                    .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()])?;
-                self.engine.call(trial_fn, &[Value::I64(trial as i64)])?;
-                let out = self.engine.read_global_f64(gn::TRIAL_OUTPUT)?;
-                result.outputs.push(out[..out_len].to_vec());
-                result
-                    .passes
-                    .push(self.engine.read_global_i64(gn::PASSES, 0)? as u64);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+
+        // Stitch chunks back into trial order; every chunk arrives exactly
+        // once (the queue partitions the index space).
+        let mut slots: Vec<Option<(Vec<Vec<f64>>, Vec<u64>)>> = (0..n_chunks).map(|_| None).collect();
+        let mut steals = 0u64;
+        for r in worker_results {
+            let (mine, s, stats) = r?;
+            steals += s;
+            self.engine.absorb_stats(&stats);
+            for (c, outs, passes) in mine {
+                slots[c] = Some((outs, passes));
             }
         }
+        // A lone worker draining the queue is self-scheduling, not stealing.
+        if threads <= 1 {
+            steals = 0;
+        }
+        self.engine.record_steals(steals);
+        let mut result = RunResult::with_capacity(spec.trials);
+        for slot in slots {
+            let (outs, passes) = slot.expect("chunk executed");
+            result.outputs.extend(outs);
+            result.passes.extend(passes);
+        }
+        result.shards = Some(ShardStats {
+            threads,
+            chunks: n_chunks,
+            batch: chunk,
+            steals,
+        });
         Ok(result)
     }
 
@@ -339,6 +491,14 @@ impl CompiledDriver {
             self.engine.write_global_f64(gn::OUT_PREV, &zeros)?;
             for i in 0..self.model.mechanisms.len() {
                 self.engine.write_global_i64(gn::COUNTERS, i, 0)?;
+            }
+            // Per-trial node PRNG streams, exactly like the compiled trial
+            // prologue and the baseline runner.
+            let seed = self.compiled.config.seed;
+            for i in 0..self.model.mechanisms.len() {
+                let stream = SplitMix64::trial_node_stream(seed, trial as u64, i as u64);
+                self.engine
+                    .write_global_i64(gn::RNG, i, stream.state as i64)?;
             }
 
             // Grid search driven from outside the compiled code.
@@ -438,44 +598,57 @@ impl CompiledDriver {
         Ok(result)
     }
 
-    /// Run only the grid search of one trial (legacy shim surface).
-    pub(crate) fn grid_only(
-        &mut self,
-        input: &TrialInput,
-        grid: &GridStrategy,
-    ) -> Result<(Option<ParallelResult>, Option<GpuRunReport>), DistillError> {
-        validate_spec(
-            &self.model,
-            &RunSpec::new(std::slice::from_ref(input).to_vec(), 1),
-        )?;
-        let eval_fn = self
-            .compiled
-            .eval_func
-            .ok_or_else(|| DistillError::Driver("model has no grid-search controller".into()))?;
-        let flats = self.flatten_inputs(std::slice::from_ref(input));
-        self.engine.write_global_f64(gn::EXT_INPUT, &flats[0])?;
-        match grid {
-            GridStrategy::MultiCore { threads } => {
-                let r = mcpu::parallel_argmin(
-                    &self.engine,
-                    eval_fn,
-                    self.compiled.grid_size,
-                    *threads,
-                )?;
-                self.engine.record_steals(r.steals);
-                Ok((Some(r), None))
+}
+
+/// Execute one chunk of `n` consecutive trials starting at absolute trial
+/// index `lo` on `engine`: through the `trials_batch` entry point when
+/// `batch_fn` is resolved, trial-by-trial otherwise. Returns the chunk's
+/// per-trial outputs and pass counts.
+///
+/// This is the *single* definition of compiled trial-chunk execution —
+/// [`CompiledDriver::run_whole`] drives it over the template engine and
+/// every sharded worker drives it over its own engine copy, which is what
+/// keeps serial and sharded runs bit-identical by construction rather than
+/// by parallel maintenance of two loops.
+fn run_trial_chunk(
+    engine: &mut Engine,
+    layout: &distill_codegen::Layout,
+    batch_fn: Option<distill_ir::FuncId>,
+    trial_fn: distill_ir::FuncId,
+    flats: &[Vec<f64>],
+    lo: usize,
+    n: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<u64>), DistillError> {
+    let out_len = layout.trial_output_len;
+    let mut outs = Vec::with_capacity(n);
+    let mut passes = Vec::with_capacity(n);
+    match batch_fn {
+        Some(bf) => {
+            // Stage the chunk's inputs in one global write.
+            if layout.ext_len > 0 {
+                let staging = layout.stage_batch(flats, lo, n);
+                engine.write_global_f64(gn::BATCH_EXT, &staging)?;
             }
-            GridStrategy::Gpu(config) => {
-                let r = gpu::run_grid(&self.engine, eval_fn, self.compiled.grid_size, config)?;
-                Ok((None, Some(r)))
+            engine.call(bf, &[Value::I64(lo as i64), Value::I64(n as i64)])?;
+            // Read only the chunk's slots, one global read each.
+            let o = engine.read_global_f64_prefix(gn::BATCH_OUT, n * out_len)?;
+            let p = engine.read_global_f64_prefix(gn::BATCH_PASSES, n)?;
+            for k in 0..n {
+                outs.push(o[k * out_len..(k + 1) * out_len].to_vec());
+                passes.push(p[k] as u64);
             }
-            // The serial grid never runs in isolation: it lives inside the
-            // whole-model trial function or the per-node driver's loop.
-            GridStrategy::Serial => Err(DistillError::Driver(
-                "grid-only execution requires a parallel grid strategy".into(),
-            )),
+        }
+        None => {
+            for t in lo..lo + n {
+                engine.write_global_f64(gn::EXT_INPUT, &flats[t % flats.len()])?;
+                engine.call(trial_fn, &[Value::I64(t as i64)])?;
+                let out = engine.read_global_f64(gn::TRIAL_OUTPUT)?;
+                outs.push(out[..out_len].to_vec());
+                passes.push(engine.read_global_i64(gn::PASSES, 0)? as u64);
+            }
         }
     }
+    Ok((outs, passes))
 }
 
 /// A compiled backend: the driver plus the grid strategy the target selects.

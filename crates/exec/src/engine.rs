@@ -248,6 +248,35 @@ impl Engine {
         self.stats = EngineStats::default();
     }
 
+    /// Fold a worker engine's counters into this engine's statistics.
+    /// Sharded drivers run chunks on engine clones whose stats would die
+    /// with their thread; absorbing them keeps the template engine's
+    /// [`EngineStats`] a faithful account of all work done on its behalf.
+    pub fn absorb_stats(&mut self, other: &EngineStats) {
+        self.stats.instructions += other.instructions;
+        self.stats.calls += other.calls;
+        self.stats.loads += other.loads;
+        self.stats.stores += other.stores;
+        self.stats.frame_pool_hits += other.frame_pool_hits;
+        self.stats.steals += other.steals;
+    }
+
+    /// The counters accumulated since `base` (a snapshot of this engine's
+    /// earlier [`Engine::stats`]). The inverse of [`Engine::absorb_stats`]:
+    /// workers snapshot at spawn, run, and hand the delta back — keeping the
+    /// field-by-field bookkeeping in one place next to the fold.
+    pub fn stats_since(&self, base: &EngineStats) -> EngineStats {
+        let s = &self.stats;
+        EngineStats {
+            instructions: s.instructions - base.instructions,
+            calls: s.calls - base.calls,
+            loads: s.loads - base.loads,
+            stores: s.stores - base.stores,
+            frame_pool_hits: s.frame_pool_hits - base.frame_pool_hits,
+            steals: s.steals - base.steals,
+        }
+    }
+
     /// Fold work-stealing chunk grabs into [`EngineStats::steals`]. Worker
     /// engines are dropped when their thread finishes, so the driver that
     /// owns the template engine records the scheduler's aggregate here

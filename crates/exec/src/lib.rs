@@ -24,9 +24,11 @@ pub mod decode;
 pub mod engine;
 pub mod gpu;
 pub mod mcpu;
+pub mod shard;
 
 pub use engine::{Engine, EngineStats, ExecError, Value};
 pub use gpu::{GpuConfig, GpuRunReport};
 pub use mcpu::{
     parallel_argmin, parallel_argmin_static, serial_argmin, EvalContext, ParallelResult,
 };
+pub use shard::{ChunkQueue, GrabCount};

@@ -22,8 +22,8 @@
 //! argmin is deterministic under any schedule.
 
 use crate::engine::{Engine, ExecError, Value};
+use crate::shard::{ChunkQueue, GrabCount};
 use distill_ir::FuncId;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of a parallel argmin over the grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,28 +131,22 @@ pub fn parallel_argmin(
     if grid_size == 0 {
         return Ok(empty_result(threads));
     }
-    // Chunked stealing: coarse enough to amortize the shared counter, fine
-    // enough (≥ 8 chunks per worker) that one expensive tail region cannot
-    // serialize the sweep.
-    let chunk = (grid_size / (threads * 8)).clamp(1, 1024);
-    let next = AtomicUsize::new(0);
+    // Chunked stealing through the shared [`ChunkQueue`]: coarse enough to
+    // amortize the shared counter, fine enough (≥ 8 chunks per worker) that
+    // one expensive tail region cannot serialize the sweep.
+    let queue = ChunkQueue::balanced(grid_size, threads, 8, 1024);
     let results: Vec<Result<((usize, f64), u64), ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
-            let next = &next;
+            let queue = &queue;
             // Thread-local copy of every read-write structure (§3.6).
             let mut ctx = EvalContext::new(engine, eval_func);
             handles.push(scope.spawn(move || {
                 let mut best = ARGMIN_INIT;
-                let mut grabs = 0u64;
-                loop {
-                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                    if lo >= grid_size {
-                        break;
-                    }
-                    grabs += 1;
-                    let hi = (lo + chunk).min(grid_size);
-                    for i in lo..hi {
+                let mut grabs = GrabCount::default();
+                while let Some(range) = queue.grab() {
+                    grabs.record();
+                    for i in range {
                         best = argmin_better(best, i, ctx.eval(i)?);
                     }
                 }
@@ -160,7 +154,7 @@ pub fn parallel_argmin(
                 // shared queue. Worker engines die with their thread, so the
                 // count is returned for the reduction; drivers fold the
                 // total into their template engine's stats.
-                Ok((best, grabs.saturating_sub(1)))
+                Ok((best, grabs.steals()))
             }));
         }
         handles

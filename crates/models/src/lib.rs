@@ -122,13 +122,41 @@ pub fn vectorized_necker_cube() -> Workload {
 /// The predator-prey model with `levels` attention levels per entity
 /// (2 ⇒ S, 4 ⇒ M, 6 ⇒ L, 100 ⇒ XL; evaluations per trial = `levels³`).
 pub fn predator_prey(levels: usize) -> Workload {
-    let mut c = Composition::new(format!("predator_prey_{levels}"));
+    predator_prey_family(levels, None)
+}
+
+/// The skewed-grid predator-prey variant: observers *deliberate* (pay extra
+/// PRNG-driven refinement work) whenever their attention allocation exceeds
+/// the deliberation threshold, so the cost of a grid evaluation depends on
+/// the allocation it decodes — cheap and expensive cells cluster along the
+/// high-stride control signal. This is the workload that exercises work
+/// stealing end-to-end through `Target::MultiCore`: static contiguous
+/// chunks of the grid serialize on the deliberating ranges, the stealing
+/// scheduler rebalances them, and either way the argmin (and every trial
+/// output) is bit-identical because evaluation streams are index-derived.
+pub fn predator_prey_skewed(levels: usize) -> Workload {
+    predator_prey_family(levels, Some(24))
+}
+
+/// Shared scaffold of [`predator_prey`] and [`predator_prey_skewed`]:
+/// `deliberation` picks plain gaussian observers (`None`) or deliberative
+/// ones with that many refinement draws per gated element.
+fn predator_prey_family(levels: usize, deliberation: Option<usize>) -> Workload {
+    use distill_cogmodel::functions::deliberative_observer;
+    let mut c = Composition::new(match deliberation {
+        Some(_) => format!("predator_prey_skewed_{levels}"),
+        None => format!("predator_prey_{levels}"),
+    });
+    let observer = |name: &str| match deliberation {
+        Some(k) => deliberative_observer(name, 2, 2.0, 1.9, k),
+        None => gaussian_observer(name, 2, 2.0, 1.9),
+    };
     // External input: 2-D locations of player, prey, predator (6 values).
     let loc = c.add(identity("loc", 6));
     // One observer per entity (2-D each).
-    let obs_player = c.add(gaussian_observer("obs_player", 2, 2.0, 1.9));
-    let obs_prey = c.add(gaussian_observer("obs_prey", 2, 2.0, 1.9));
-    let obs_predator = c.add(gaussian_observer("obs_predator", 2, 2.0, 1.9));
+    let obs_player = c.add(observer("obs_player"));
+    let obs_prey = c.add(observer("obs_prey"));
+    let obs_predator = c.add(observer("obs_predator"));
     // Player occupies elements 0..2, prey 2..4, predator 4..6 of the
     // location vector; the observers take 2-wide ports, so connect through
     // slicing probes.
@@ -269,6 +297,96 @@ pub fn predator_prey_l() -> Workload {
 /// models that will be commonplace in future".
 pub fn predator_prey_xl() -> Workload {
     predator_prey(100)
+}
+
+/// A stress configuration for the simulated GPU's cost model: a wide
+/// observer feeds a 24-unit logistic bank and an 8-unit mixdown whose
+/// inlined grid-evaluation kernel carries far more live values than the
+/// predator-prey kernels, driving the modelled register demand to the ISA
+/// cap — the regime where Fig. 6's `max_registers` throttle and the
+/// occupancy/spill trade-off actually bite. The controller sweeps the
+/// observer's attention against the bank's logistic gain (`levels²` grid
+/// points), so the same model also serves as a large-grid target for the
+/// multicore and sharded schedulers.
+pub fn gpu_stress(levels: usize) -> Workload {
+    let mut c = Composition::new(format!("gpu_stress_{levels}"));
+    let width = 8usize;
+    let hidden = 24usize;
+    let stim = c.add(identity("stimulus", width));
+    let obs = c.add(gaussian_observer("obs", width, 2.0, 1.9));
+    c.connect(stim, 0, obs, 0, 0);
+    // Deterministic pseudo-random weights from a fixed LCG so the model is
+    // reproducible without depending on any runtime PRNG stream.
+    let mut state = 0x5EED_CAFE_u64;
+    let mut next_w = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Top 32 bits scaled into the symmetric range [-1, 1).
+        ((state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let w1: Vec<f64> = (0..width * hidden).map(|_| next_w() * 0.6).collect();
+    let bank = c.add(weighted_transfer("bank", width, hidden, w1, vec![0.0; hidden], 1.0));
+    c.connect(obs, 0, bank, 0, 0);
+    let w2: Vec<f64> = (0..hidden * width).map(|_| next_w() * 0.4).collect();
+    let mix = c.add(weighted_transfer("mix", hidden, width, w2, vec![-0.5; width], 1.0));
+    c.connect(bank, 0, mix, 0, 0);
+    // Objective: reconstruction quality of the mixdown against the true
+    // stimulus (negated squared error, so the argmin minimizes error).
+    let objective = c.add(
+        Mechanism::new(
+            "objective",
+            NodeComputation::scalar({
+                let mut gain = E::lit(0.0);
+                for d in 0..width {
+                    let diff = E::sub(E::input_elem(0, d), E::input_elem(1, d));
+                    gain = E::sub(gain, E::mul(diff.clone(), diff));
+                }
+                gain
+            }),
+        )
+        .with_inputs(vec![width, width]),
+    );
+    c.connect(mix, 0, objective, 0, 0);
+    c.connect(stim, 0, objective, 1, 0);
+    c.input_nodes = vec![stim];
+    c.output_nodes = vec![mix, objective];
+    c.trial_end = TrialEnd::AfterNPasses(1);
+
+    let unit: Vec<f64> = (0..levels)
+        .map(|i| i as f64 / (levels.max(2) - 1) as f64)
+        .collect();
+    c.controller = Some(distill_cogmodel::Controller {
+        signals: vec![
+            ControlSignal {
+                node: obs,
+                param: "attention".into(),
+                index: 0,
+                levels: unit.clone(),
+                cost_coeff: 0.05,
+            },
+            ControlSignal {
+                node: bank,
+                param: "gain".into(),
+                index: 0,
+                levels: unit.iter().map(|v| 0.5 + v).collect(),
+                cost_coeff: 0.02,
+            },
+        ],
+        objective_node: objective,
+        objective_port: 0,
+        seed: 0xF_EED,
+    });
+
+    let inputs = vec![
+        vec![vec![1.0, -0.5, 0.25, 0.8, -1.0, 0.4, -0.2, 0.6]],
+        vec![vec![-0.3, 0.9, -0.7, 0.1, 0.5, -0.8, 1.0, -0.4]],
+    ];
+    Workload {
+        model: c,
+        inputs,
+        trials: 2,
+    }
 }
 
 /// The Botvinick Stroop conflict-monitoring model.
@@ -530,18 +648,17 @@ pub fn multitasking() -> Workload {
     }
 }
 
-/// The eight models of Fig. 4, in the order the figure lists them.
+pub mod registry;
+
+pub use registry::{by_name, by_tag, Scale, Tag, TargetKind, WorkloadSpec};
+
+/// The eight models of Fig. 4, in the order the figure lists them —
+/// data-driven from the [`registry`] (the entries tagged [`Tag::Figure4`]).
 pub fn figure4_models() -> Vec<Workload> {
-    vec![
-        vectorized_necker_cube(),
-        necker_cube_s(),
-        necker_cube_m(),
-        predator_prey_s(),
-        botvinick_stroop(),
-        extended_stroop_a(),
-        extended_stroop_b(),
-        multitasking(),
-    ]
+    registry::by_tag(Tag::Figure4)
+        .into_iter()
+        .map(|s| s.build(Scale::Reduced))
+        .collect()
 }
 
 #[cfg(test)]

@@ -63,6 +63,19 @@ impl SplitMix64 {
         let s = mixer.next_u64();
         SplitMix64::new(s)
     }
+
+    /// Derive the stream a node draws from during trial `trial`: stream index
+    /// `trial * 2^32 + node` (node counts are far below 2^32, so the
+    /// packing is collision-free). Deriving node streams *per trial* — rather
+    /// than letting one stream run on across the whole trial sequence — makes
+    /// trials independent random-access units: any execution order (serial,
+    /// batched, or sharded across threads) draws identical numbers for trial
+    /// `t`, which is the §3.6 reproducibility requirement extended from grid
+    /// evaluations to trials. Trial 0 reduces to `stream_for(seed, node)`,
+    /// the pre-trial-indexing initial stream.
+    pub fn trial_node_stream(seed: u64, trial: u64, node: u64) -> SplitMix64 {
+        SplitMix64::stream_for(seed, (trial << 32).wrapping_add(node))
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,16 @@ fn compiled_matches_baseline_on_deterministic_models() {
 fn compiled_matches_baseline_on_stochastic_models() {
     // Predator-prey draws random observations per grid evaluation; the
     // compiled path replicates the PRNG streams so results match exactly.
-    for w in [predator_prey_s(), predator_prey_m(), multitasking()] {
+    // The skewed and GPU-stress registry families ride along: their
+    // attention-gated deliberation draws and wide kernels must consume
+    // streams identically on both paths too.
+    for w in [
+        predator_prey_s(),
+        predator_prey_m(),
+        predator_prey_skewed(4),
+        gpu_stress(4),
+        multitasking(),
+    ] {
         let spec = RunSpec::new(w.inputs.clone(), 2);
         let baseline = Session::new(&w.model)
             .target(Target::Baseline(ExecMode::CPython))

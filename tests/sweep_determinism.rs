@@ -1,0 +1,90 @@
+//! Sweep determinism: the sharded + batched trial path must be bit-identical
+//! to the serial path for **every registered workload family**, across
+//! thread counts {1, 2, 4, 8} and batch sizes {1, N} — any schedule, any
+//! chunking, same bits.
+//!
+//! This is the contract the sweep subsystem rests on: per-trial PRNG streams
+//! are derived from the trial index (so trials are random-access units), the
+//! chunk queue partitions the trial space exactly once, and stitching
+//! preserves trial order. A single flipped bit on any family under any
+//! configuration fails this suite.
+
+use distill::{compile, RunResult, RunSpec, Session};
+use distill_models::{registry, Scale};
+use distill_sweep::{run_sweep, SweepConfig};
+
+/// Odd trial count so every batch size produces a ragged final chunk.
+const TRIALS: usize = 11;
+
+fn bits(r: &RunResult) -> Vec<Vec<u64>> {
+    r.outputs
+        .iter()
+        .map(|trial| trial.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn every_registered_family_shards_bit_identically() {
+    for spec in registry::registry() {
+        let w = spec.build(Scale::Reduced);
+        // Compile once; the runner is rebuilt (cheaply) per configuration.
+        let artifact = compile(&w.model, Session::new(&w.model).config())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", spec.name));
+        let serial_spec = RunSpec::new(w.inputs.clone(), TRIALS);
+        let serial = Session::new(&w.model)
+            .build_with(artifact.clone())
+            .unwrap()
+            .run(&serial_spec)
+            .unwrap_or_else(|e| panic!("{}: serial run failed: {e}", spec.name));
+        let serial_bits = bits(&serial);
+        for threads in [1usize, 2, 4, 8] {
+            for batch in [1usize, 5] {
+                let sharded = Session::new(&w.model)
+                    .build_with(artifact.clone())
+                    .unwrap()
+                    .run(&serial_spec.clone().with_batch(batch).with_shards(threads))
+                    .unwrap_or_else(|e| {
+                        panic!("{}: sharded run (t={threads}, b={batch}) failed: {e}", spec.name)
+                    });
+                assert_eq!(
+                    serial_bits,
+                    bits(&sharded),
+                    "{}: outputs diverged at threads={threads}, batch={batch}",
+                    spec.name
+                );
+                assert_eq!(
+                    serial.passes, sharded.passes,
+                    "{}: pass counts diverged at threads={threads}, batch={batch}",
+                    spec.name
+                );
+                // Models whose state persists across trials legitimately
+                // fall back to the serial path (no shard stats) — identity
+                // above is still required of them.
+                if threads > 1 && w.model.reset_state_each_trial {
+                    let stats = sharded.shards.unwrap_or_else(|| {
+                        panic!("{}: sharded run reports no stats", spec.name)
+                    });
+                    assert!(stats.threads >= 1);
+                    assert_eq!(stats.chunks, TRIALS.div_ceil(stats.batch));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn orchestrated_sweep_verifies_identity_on_every_family() {
+    // The end-to-end path: the Sweep orchestrator itself reports the
+    // bit-identity verdict per family — and it must hold everywhere.
+    let report = run_sweep(&SweepConfig {
+        threads: 4,
+        batch: 4,
+        trials: Some(TRIALS),
+        ..SweepConfig::default()
+    })
+    .expect("sweep runs");
+    for w in &report.workloads {
+        assert!(w.identical, "{}: sharded sweep diverged from serial", w.name);
+    }
+    assert!(report.all_identical());
+}
