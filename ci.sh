@@ -25,17 +25,23 @@ cargo run --release --example quickstart
 cargo run --release --example predator_prey_attention
 cargo run --release --example model_analysis
 
-echo "== figures (reduced workloads incl. the sweep subsystem, JSON to bench_results/)"
+echo "== figures (reduced workloads incl. the sweep + fused figures, JSON to bench_results/)"
 # The default run covers every figure, including `sweep` — the reduced
 # registry sweep (serial vs sharded+batched per family, bit-identity
-# verified) and the anchor comparison the gate below reads.
+# verified) — and `fused` (the superinstruction path vs the unfused
+# predecoded interpreter), both of which the gates below read.
 cargo run --release -p distill-bench --bin figures
 
-echo "== bench-diff (regression gate vs committed bench_results/baseline/)"
-# The BENCH trajectory consumer: per-figure elapsed times within a wide
-# wall-clock band, the interp figure's median within a MAD band, and the
-# machine-independent gates on the fresh snapshot — the predecoded-engine
-# speedup (>= 2x over the reference interpreter), the sweep subsystem's
+echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run)"
+# The BENCH trajectory consumer, in trajectory mode: every per-PR snapshot
+# committed under bench_results/history/ is walked oldest -> newest, then
+# the committed baseline, then the fresh run — history transitions are
+# reported, only the newest transition gates. Checks per transition:
+# per-figure elapsed times within a wide wall-clock band and the interp
+# median within a MAD band. Machine-independent gates on the fresh
+# snapshot: the predecoded-engine speedup (>= 2x over the reference
+# interpreter), the fused-superinstruction speedup (>= 1.15x over the
+# predecoded interpreter, bit-identical outputs), the sweep subsystem's
 # sharded+batched speedup (>= 1.5x over per-trial multicore grid search)
 # and the sweep's bit-identity flags.
 # The committed baseline records absolute timings from one machine; when
@@ -43,9 +49,12 @@ echo "== bench-diff (regression gate vs committed bench_results/baseline/)"
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
 # (the speedup and identity gates are machine-independent and keep guarding
 # regardless).
+HISTORY=$(ls bench_results/history/*.json 2>/dev/null | sort -V || true)
+# shellcheck disable=SC2086  # word-splitting the sorted snapshot list is intended
 cargo run --release -p distill-bench --bin bench-diff -- \
+  $HISTORY \
   bench_results/baseline/figures.json bench_results/figures.json \
   --threshold 1.5 --min-seconds 0.1 \
-  --min-interp-speedup 2.0 --min-sweep-speedup 1.5
+  --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15
 
 echo "CI OK"

@@ -15,6 +15,10 @@
 //!   --min-sweep-speedup X   required `sweep` anchor speedup of the
 //!                           sharded+batched run over per-trial multicore
 //!                           grid search (default 1.5; 0 disables)
+//!   --min-fused-speedup X   required `fused` median speedup of the fused
+//!                           superinstruction path over the unfused
+//!                           predecoded interpreter on the Fig. 2 workload
+//!                           (default 1.15; 0 disables)
 //! ```
 //!
 //! Each input is one of:
@@ -56,12 +60,14 @@ struct Options {
     mad_k: f64,
     min_interp_speedup: f64,
     min_sweep_speedup: f64,
+    min_fused_speedup: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
-         [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X]"
+         [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X] \
+         [--min-fused-speedup X]"
     );
     exit(2);
 }
@@ -75,6 +81,7 @@ fn parse_args() -> Options {
         mad_k: 6.0,
         min_interp_speedup: 2.0,
         min_sweep_speedup: 1.5,
+        min_fused_speedup: 1.15,
     };
     let mut i = 0;
     while i < args.len() {
@@ -91,6 +98,7 @@ fn parse_args() -> Options {
             "--mad-k" => opts.mad_k = flag_value(&mut i),
             "--min-interp-speedup" => opts.min_interp_speedup = flag_value(&mut i),
             "--min-sweep-speedup" => opts.min_sweep_speedup = flag_value(&mut i),
+            "--min-fused-speedup" => opts.min_fused_speedup = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
             other => opts.paths.push(other.to_string()),
         }
@@ -348,6 +356,40 @@ fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
         }
         if stat(interp, &["outputs_match"]).and_then(Json::as_bool) == Some(false) {
             v.fail("interp outputs diverged between engines".to_string());
+        }
+    }
+    if let Some(fused) = find(&newest.figures, "figure", "fused") {
+        // The gate anchors on the Fig. 2 family's entry; the identity flags
+        // apply to every measured workload.
+        let workloads = stat(fused, &["workloads"]).and_then(Json::as_arr);
+        let anchor = workloads
+            .and_then(|ws| ws.iter().find(|w| name_of(w, "name") == Some("predator_prey_2")));
+        if opts.min_fused_speedup > 0.0 {
+            match anchor
+                .and_then(|w| w.get("speedup_median"))
+                .and_then(Json::as_f64)
+            {
+                Some(s) if s >= opts.min_fused_speedup => v.note(format!(
+                    "{:<38} x{s:.3} (>= x{:.2})  ok",
+                    "fused speedup gate (vs predecoded)", opts.min_fused_speedup
+                )),
+                Some(s) => v.fail(format!(
+                    "fused speedup x{s:.3} below required x{:.2} over the predecoded \
+                     interpreter",
+                    opts.min_fused_speedup
+                )),
+                None => v.fail(
+                    "fused record lacks the predator_prey_2 speedup_median".to_string(),
+                ),
+            }
+        }
+        for w in workloads.unwrap_or(&[]) {
+            if w.get("outputs_match").and_then(Json::as_bool) == Some(false) {
+                v.fail(format!(
+                    "fused outputs diverged from the predecoded path on '{}'",
+                    name_of(w, "name").unwrap_or("?")
+                ));
+            }
         }
     }
     if let Some(sweep) = find(&newest.figures, "figure", "sweep") {

@@ -111,8 +111,8 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 11] = [
-        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep",
+    const FIGS: [&str; 12] = [
+        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -199,11 +199,21 @@ fn main() {
                 }
                 _ => fig = Some("sweep".to_string()),
             },
+            // Shorthand for `--fig fused`: the fused superinstruction path
+            // vs the unfused predecoded interpreter on the Fig. 2 and
+            // cost-skewed predator-prey workloads.
+            "--fused" => match &fig {
+                Some(f) if f != "fused" => {
+                    eprintln!("error: --fused conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("fused".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep] \
-                     [--batched] [--interp] [--sweep] [--full] [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused] \
+                     [--batched] [--interp] [--sweep] [--fused] [--full] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -289,6 +299,13 @@ fn main() {
         emit.figure("sweep", || {
             let (trials, samples) = if full { (2000, 7) } else { (240, 5) };
             let r = bench::fig_sweep(trials, samples, full);
+            (r.render(), r.to_json())
+        });
+    }
+    if want("fused") {
+        emit.figure("fused", || {
+            let (trials, samples) = if full { (300, 25) } else { (60, 11) };
+            let r = bench::fig_fused(trials, samples);
             (r.render(), r.to_json())
         });
     }

@@ -12,8 +12,8 @@
 use criterion::json::Json;
 use distill::{
     analysis, compile, global_names as gn, parallel_argmin, parallel_argmin_static,
-    time_baseline, time_distill, CompileConfig, CompileMode, Engine, ExecMode, GpuConfig,
-    Measurement, OptLevel, RunSpec, Session, Target, Value,
+    time_baseline, time_distill, CompileConfig, CompileMode, Engine, ExecConfig, ExecMode,
+    GpuConfig, Measurement, OptLevel, RunSpec, Session, Target, Value,
 };
 use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
@@ -682,12 +682,37 @@ impl InterpReport {
     }
 }
 
-/// Run the Fig. 2 model family's compiled trial workload on two engines
-/// over the same module — the predecoded hot path vs the retained reference
-/// interpreter — and report median/MAD per-trial times for both sides.
-pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
-    let w = predator_prey_s();
-    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+/// How one side of an [`ab_trial_comparison`] calls into its engine.
+type TrialCall = fn(&mut Engine, distill_ir::FuncId, &[Value]) -> Result<Value, distill::ExecError>;
+
+/// Robust statistics of a two-engine A/B trial-throughput comparison.
+struct AbStats {
+    fast_median_s: f64,
+    fast_mad_s: f64,
+    slow_median_s: f64,
+    slow_mad_s: f64,
+    /// `slow_median_s / fast_median_s`.
+    speedup_median: f64,
+    /// Whether both sides produced bit-identical trial outputs every sample.
+    outputs_match: bool,
+}
+
+/// The measurement substrate shared by the `interp` and `fused` figures:
+/// run the workload's compiled trial function `trials` times per sample on
+/// two engines over the same module — `fast` driven through `fast_call`,
+/// `slow` through `slow_call` — comparing output bits each sample and
+/// reducing per-trial times to median/MAD. One definition, so the two
+/// figures can never drift apart methodologically.
+fn ab_trial_comparison(
+    w: &Workload,
+    artifact: &distill::CompiledModel,
+    trials: usize,
+    samples: usize,
+    fast: &mut Engine,
+    slow: &mut Engine,
+    fast_call: TrialCall,
+    slow_call: TrialCall,
+) -> AbStats {
     let trial_fn = artifact.trial_func.expect("whole-model artifact has a trial function");
     let ext_len = artifact.layout.ext_len.max(1);
     let out_len = artifact.layout.trial_output_len;
@@ -700,10 +725,7 @@ pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
         .collect();
     let zero_flat = vec![0.0; ext_len];
 
-    let mut fast = Engine::new(artifact.module.clone());
-    let mut slow = Engine::new(artifact.module.clone());
-
-    let run = |engine: &mut Engine, reference: bool| -> (f64, Vec<Vec<u64>>) {
+    let run = |engine: &mut Engine, call: TrialCall| -> (f64, Vec<Vec<u64>>) {
         let start = Instant::now();
         let mut outs = Vec::with_capacity(trials);
         for trial in 0..trials {
@@ -715,13 +737,7 @@ pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
             engine
                 .write_global_f64(gn::EXT_INPUT, flat)
                 .expect("ext_input exists");
-            let args = [Value::I64(trial as i64)];
-            let r = if reference {
-                engine.call_reference(trial_fn, &args)
-            } else {
-                engine.call(trial_fn, &args)
-            };
-            r.expect("trial executes");
+            call(engine, trial_fn, &[Value::I64(trial as i64)]).expect("trial executes");
             let out = engine
                 .read_global_f64(gn::TRIAL_OUTPUT)
                 .expect("trial_output exists");
@@ -736,26 +752,234 @@ pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
     let mut slow_samples = Vec::with_capacity(samples);
     let mut outputs_match = true;
     for _ in 0..samples {
-        let (tf, of) = run(&mut fast, false);
-        let (ts, os) = run(&mut slow, true);
+        let (tf, of) = run(fast, fast_call);
+        let (ts, os) = run(slow, slow_call);
         outputs_match &= of == os;
         fast_samples.push(tf / trials_f);
         slow_samples.push(ts / trials_f);
     }
     let f = criterion::stats::compute(&fast_samples, trials as u64, fast_samples.iter().sum());
     let s = criterion::stats::compute(&slow_samples, trials as u64, slow_samples.iter().sum());
+    AbStats {
+        fast_median_s: f.median,
+        fast_mad_s: f.mad,
+        slow_median_s: s.median,
+        slow_mad_s: s.mad,
+        speedup_median: s.median / f.median.max(1e-15),
+        outputs_match,
+    }
+}
+
+/// Run the Fig. 2 model family's compiled trial workload on two engines
+/// over the same module — the predecoded path vs the retained reference
+/// interpreter — and report median/MAD per-trial times for both sides.
+///
+/// The fast side is pinned to the **unfused** decoded path: this figure
+/// isolates the PR 3 predecode win (its ≥ 2x CI gate must track that layer
+/// alone), while the fusion layer's win is measured separately by
+/// [`fig_fused`]. Pinning also keeps the measurement independent of the
+/// `DISTILL_FUSE` environment.
+pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
+    let w = predator_prey_s();
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let mut fast = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
+    let mut slow = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
+    let ab = ab_trial_comparison(
+        &w,
+        &artifact,
+        trials,
+        samples,
+        &mut fast,
+        &mut slow,
+        |e, f, a| e.call_decoded(f, a),
+        |e, f, a| e.call_reference(f, a),
+    );
     InterpReport {
         model: w.model.name.clone(),
         trials,
         samples,
-        predecoded_median_s: f.median,
-        predecoded_mad_s: f.mad,
-        reference_median_s: s.median,
-        reference_mad_s: s.mad,
-        speedup_median: s.median / f.median.max(1e-15),
+        predecoded_median_s: ab.fast_median_s,
+        predecoded_mad_s: ab.fast_mad_s,
+        reference_median_s: ab.slow_median_s,
+        reference_mad_s: ab.slow_mad_s,
+        speedup_median: ab.speedup_median,
         frame_pool_hits: fast.stats().frame_pool_hits,
         engine_calls: fast.stats().calls,
-        outputs_match,
+        outputs_match: ab.outputs_match,
+    }
+}
+
+/// One workload's predecoded-vs-fused comparison within [`FusedReport`].
+#[derive(Debug, Clone)]
+pub struct FusedWorkloadReport {
+    /// Registry key of the family.
+    pub name: String,
+    /// Built model name.
+    pub model: String,
+    /// Trials per sample.
+    pub trials: usize,
+    /// Timed samples per side.
+    pub samples: usize,
+    /// Median seconds per trial, unfused predecoded path (`call_decoded`).
+    pub decoded_median_s: f64,
+    /// Scaled median absolute deviation, predecoded path.
+    pub decoded_mad_s: f64,
+    /// Median seconds per trial, fused path (`call`).
+    pub fused_median_s: f64,
+    /// Scaled median absolute deviation, fused path.
+    pub fused_mad_s: f64,
+    /// `decoded_median_s / fused_median_s`.
+    pub speedup_median: f64,
+    /// Whether both paths produced bit-identical trial outputs.
+    pub outputs_match: bool,
+    /// Superinstruction dispatches the fused side executed.
+    pub fused_ops: u64,
+    /// Dynamic fusion rate: `fused_ops / instructions` on the fused side.
+    pub fusion_rate: f64,
+    /// Static instruction count before fusion (sum over functions).
+    pub static_decoded_ops: u64,
+    /// Static instruction count after fusion.
+    pub static_fused_ops: u64,
+    /// Frame slots before liveness compaction.
+    pub frame_slots_decoded: u64,
+    /// Frame slots after liveness compaction.
+    pub frame_slots_fused: u64,
+}
+
+/// `figures --fused`: the fused superinstruction path against the unfused
+/// predecoded path, on the Fig. 2 model family and the cost-skewed
+/// predator-prey family — the BENCH trajectory's before/after datapoint for
+/// the fusion layer.
+#[derive(Debug, Clone)]
+pub struct FusedReport {
+    /// One comparison per measured workload (the Fig. 2 family first — the
+    /// entry the `--min-fused-speedup` gate reads).
+    pub workloads: Vec<FusedWorkloadReport>,
+}
+
+impl FusedReport {
+    /// Render the per-workload before/after tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fused: superinstruction path vs predecoded path");
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "  -- {} ({} trials x {} samples)",
+                w.model, w.trials, w.samples
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+                "predecoded", w.decoded_median_s, w.decoded_mad_s
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+                "fused", w.fused_median_s, w.fused_mad_s
+            );
+            let _ = writeln!(
+                out,
+                "  median speedup: x{:.3}   outputs identical: {}   fusion rate: {:.1}% \
+                 ({} superinstruction dispatches)",
+                w.speedup_median,
+                w.outputs_match,
+                w.fusion_rate * 100.0,
+                w.fused_ops
+            );
+            let _ = writeln!(
+                out,
+                "  static: {} -> {} instructions, {} -> {} frame slots",
+                w.static_decoded_ops, w.static_fused_ops, w.frame_slots_decoded, w.frame_slots_fused
+            );
+        }
+        out
+    }
+
+    /// The comparison as a JSON object (consumed by `bench-diff`'s
+    /// `--min-fused-speedup` gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "workloads",
+            Json::Arr(
+                self.workloads
+                    .iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("name", Json::str(&w.name)),
+                            ("model", Json::str(&w.model)),
+                            ("trials", w.trials.into()),
+                            ("samples", w.samples.into()),
+                            ("decoded_median_s", w.decoded_median_s.into()),
+                            ("decoded_mad_s", w.decoded_mad_s.into()),
+                            ("fused_median_s", w.fused_median_s.into()),
+                            ("fused_mad_s", w.fused_mad_s.into()),
+                            ("speedup_median", w.speedup_median.into()),
+                            ("outputs_match", w.outputs_match.into()),
+                            ("fused_ops", w.fused_ops.into()),
+                            ("fusion_rate", w.fusion_rate.into()),
+                            ("static_decoded_ops", w.static_decoded_ops.into()),
+                            ("static_fused_ops", w.static_fused_ops.into()),
+                            ("frame_slots_decoded", w.frame_slots_decoded.into()),
+                            ("frame_slots_fused", w.frame_slots_fused.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+fn fused_workload(spec_name: &str, trials: usize, samples: usize) -> FusedWorkloadReport {
+    let spec = registry::by_name(spec_name).expect("workload family registered");
+    let w = spec.build(Scale::Reduced);
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    // Two engines over the same module: one runs the fused fast path, the
+    // other the retained unfused predecoded path. Both sides are pinned
+    // explicitly — an inherited DISTILL_FUSE=0 must not turn this A/B into
+    // decoded-vs-decoded (and the decoded side skips the unused fuse pass).
+    let mut fused = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
+    let mut decoded = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
+    let ab = ab_trial_comparison(
+        &w,
+        &artifact,
+        trials,
+        samples,
+        &mut fused,
+        &mut decoded,
+        |e, f, a| e.call(f, a),
+        |e, f, a| e.call_decoded(f, a),
+    );
+    let stats = fused.stats();
+    let summary = fused.fuse_summary();
+    FusedWorkloadReport {
+        name: spec.name.to_string(),
+        model: w.model.name.clone(),
+        trials,
+        samples,
+        decoded_median_s: ab.slow_median_s,
+        decoded_mad_s: ab.slow_mad_s,
+        fused_median_s: ab.fast_median_s,
+        fused_mad_s: ab.fast_mad_s,
+        speedup_median: ab.speedup_median,
+        outputs_match: ab.outputs_match,
+        fused_ops: stats.fused_ops,
+        fusion_rate: stats.fused_ops as f64 / (stats.instructions.max(1)) as f64,
+        static_decoded_ops: summary.decoded_ops,
+        static_fused_ops: summary.fused_ops,
+        frame_slots_decoded: summary.decoded_frame_slots,
+        frame_slots_fused: summary.fused_frame_slots,
+    }
+}
+
+/// Run the fused-vs-predecoded comparison on the Fig. 2 model family (the
+/// gated anchor) and the cost-skewed predator-prey family.
+pub fn fig_fused(trials: usize, samples: usize) -> FusedReport {
+    FusedReport {
+        workloads: vec![
+            fused_workload("predator_prey_2", trials, samples),
+            fused_workload("predator_prey_skewed", (trials / 8).max(2), samples.min(5)),
+        ],
     }
 }
 
@@ -987,6 +1211,12 @@ impl SweepFigure {
                                 ("chunks", w.chunks.into()),
                                 ("steals", w.steals.into()),
                                 ("identical", w.identical.into()),
+                                // Per-run engine counters of the sharded run
+                                // (satellite of the fusion PR): stats belong
+                                // to the trial space that produced them.
+                                ("instructions", w.run_stats.instructions.into()),
+                                ("fused_ops", w.run_stats.fused_ops.into()),
+                                ("frame_pool_hits", w.run_stats.frame_pool_hits.into()),
                                 (
                                     "targets",
                                     Json::Arr(
@@ -1297,6 +1527,33 @@ mod tests {
         assert!(json.contains("\"speedup_median\":"));
         assert!(json.contains("\"frame_pool_hits\":"));
         assert!(json.contains("\"outputs_match\":true"));
+    }
+
+    #[test]
+    fn fused_figure_is_bit_identical_and_renders() {
+        let r = fig_fused(8, 3);
+        assert_eq!(r.workloads.len(), 2);
+        assert_eq!(r.workloads[0].name, "predator_prey_2", "gate anchor leads");
+        for w in &r.workloads {
+            assert!(w.outputs_match, "fused must match predecoded: {w:?}");
+            assert!(w.fused_ops > 0, "superinstructions must execute: {w:?}");
+            assert!(
+                w.frame_slots_fused < w.frame_slots_decoded,
+                "liveness compaction must shrink frames: {w:?}"
+            );
+            assert!(
+                w.static_fused_ops < w.static_decoded_ops,
+                "fusion must shorten the instruction stream: {w:?}"
+            );
+            assert!(w.fusion_rate > 0.0 && w.fusion_rate < 1.0);
+        }
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"speedup_median\":"));
+        assert!(json.contains("\"outputs_match\":true"));
+        assert!(json.contains("\"frame_slots_fused\":"));
+        let text = r.render();
+        assert!(text.contains("predecoded"));
+        assert!(text.contains("fusion rate"));
     }
 
     #[test]

@@ -149,6 +149,37 @@ fn sweep_gate_fails_on_slow_or_divergent_anchors() {
 }
 
 #[test]
+fn fused_gate_fails_on_slow_or_divergent_paths() {
+    let dir = tmpdir("fusedgate");
+    let fused = |speedup: f64, identical: bool| {
+        format!(
+            r#"{{"figures":[{{"figure":"fused","full_scale":false,"elapsed_s":1.0,
+               "data":{{"workloads":[
+                 {{"name":"predator_prey_2","speedup_median":{speedup},"outputs_match":{identical}}},
+                 {{"name":"predator_prey_skewed","speedup_median":1.4,"outputs_match":true}}]}}}}]}}"#
+        )
+    };
+    let base = write(&dir, "base.json", &fused(1.4, true));
+    let fast = write(&dir, "fast.json", &fused(1.3, true));
+    let slow = write(&dir, "slow.json", &fused(1.05, true));
+    let split = write(&dir, "split.json", &fused(1.4, false));
+    let (code, text) = diff(&[&base, &fast]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("fused speedup gate"), "{text}");
+    let (code, text) = diff(&[&base, &slow]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("below required"), "{text}");
+    let (code, text) = diff(&[&base, &split]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("diverged from the predecoded path"), "{text}");
+    // 0 disables the speedup gate (identity still enforced).
+    let (code, text) = diff(&[&base, &slow, "--min-fused-speedup", "0"]);
+    assert_eq!(code, 0, "{text}");
+    let (code, _) = diff(&[&base, &split, "--min-fused-speedup", "0"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
 fn scale_mismatch_is_refused() {
     let dir = tmpdir("scale");
     let base = write(&dir, "base.json", &figure_snapshot(1.0));

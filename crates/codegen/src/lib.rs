@@ -65,6 +65,12 @@ pub struct CompileConfig {
     /// that executes up to this many trials per engine entry; drivers chunk
     /// larger batch requests. `0` disables the batched entry point.
     pub batch_capacity: usize,
+    /// Whether the execution engine fuses the decoded instruction stream
+    /// into superinstructions at load time (`distill_exec::fuse`). On by
+    /// default; turn off for A/B measurement of the unfused predecoded
+    /// interpreter. Codegen itself ignores the knob — it rides along so
+    /// drivers construct their engines accordingly.
+    pub fuse: bool,
 }
 
 impl Default for CompileConfig {
@@ -74,6 +80,7 @@ impl Default for CompileConfig {
             opt_level: OptLevel::O2,
             seed: 0xD15_711,
             batch_capacity: 64,
+            fuse: true,
         }
     }
 }

@@ -51,8 +51,8 @@ pub use distill_analysis as analysis;
 pub use distill_codegen::{compile, global_names, CompileConfig, CompileMode, CompiledModel};
 pub use distill_cogmodel::{BaselineRunner, Composition, RunError};
 pub use distill_exec::{
-    parallel_argmin, parallel_argmin_static, serial_argmin, Engine, EngineStats, ExecError,
-    GpuConfig, GpuRunReport, ParallelResult, Value,
+    parallel_argmin, parallel_argmin_static, serial_argmin, Engine, EngineStats, ExecConfig,
+    ExecError, FuseSummary, GpuConfig, GpuRunReport, ParallelResult, Value,
 };
 pub use distill_opt::OptLevel;
 pub use distill_pyvm::ExecMode;

@@ -82,6 +82,10 @@ pub struct ShardStats {
     /// Chunk grabs beyond each worker's first — the same redistribution
     /// measure the grid scheduler reports.
     pub steals: u64,
+    /// Engine counters the shard workers accumulated (summed deltas), so
+    /// sweep reports attribute work to the trial space that produced it
+    /// rather than to engine lifetimes.
+    pub stats: distill_exec::EngineStats,
 }
 
 /// Results of a run, uniform across backends.
@@ -100,6 +104,12 @@ pub struct RunResult {
     /// Shard statistics, when the run sharded its trial space across worker
     /// threads ([`RunSpec::with_shards`]).
     pub shards: Option<ShardStats>,
+    /// Engine counters accumulated by **this run** (worker-thread deltas
+    /// included): the per-run view of `EngineStats`, so harnesses attribute
+    /// instructions, fusion rates and frame-pool traffic to the spec that
+    /// produced them instead of reading engine-lifetime aggregates. Zero for
+    /// baseline targets, which have no engine.
+    pub stats: distill_exec::EngineStats,
 }
 
 impl RunResult {
@@ -110,6 +120,7 @@ impl RunResult {
             grid: None,
             gpu: None,
             shards: None,
+            stats: distill_exec::EngineStats::default(),
         }
     }
 }
@@ -204,6 +215,7 @@ impl Runner for BaselineBackend {
             grid: None,
             gpu: None,
             shards: None,
+            stats: distill_exec::EngineStats::default(),
         })
     }
 
@@ -242,7 +254,14 @@ pub(crate) struct CompiledDriver {
 
 impl CompiledDriver {
     pub(crate) fn new(compiled: CompiledModel, model: Composition) -> CompiledDriver {
-        let engine = Engine::new(compiled.module.clone());
+        // The session's fusion knob decides which execution form the engine
+        // lowers to; the environment default (`DISTILL_FUSE`) still applies
+        // when the knob is left on, so either side can force the A/B.
+        let fuse = compiled.config.fuse && distill_exec::ExecConfig::default().fuse;
+        let engine = Engine::with_config(
+            compiled.module.clone(),
+            distill_exec::ExecConfig { fuse },
+        );
         CompiledDriver {
             compiled,
             model,
@@ -269,6 +288,20 @@ impl CompiledDriver {
     /// everything else goes through the per-node driver, which keeps the
     /// scheduler and grid search outside the compiled code.
     pub(crate) fn run(
+        &mut self,
+        spec: &RunSpec,
+        grid: &GridStrategy,
+    ) -> Result<RunResult, DistillError> {
+        // Snapshot the engine's counters so the result can report the
+        // *per-run* delta (worker-thread deltas are absorbed into the
+        // template engine before the run returns, so they are included).
+        let base_stats = self.engine.stats();
+        let mut result = self.run_inner(spec, grid)?;
+        result.stats = self.engine.stats_since(&base_stats);
+        Ok(result)
+    }
+
+    fn run_inner(
         &mut self,
         spec: &RunSpec,
         grid: &GridStrategy,
@@ -431,9 +464,11 @@ impl CompiledDriver {
         // once (the queue partitions the index space).
         let mut slots: Vec<Option<(Vec<Vec<f64>>, Vec<u64>)>> = (0..n_chunks).map(|_| None).collect();
         let mut steals = 0u64;
+        let mut worker_stats = distill_exec::EngineStats::default();
         for r in worker_results {
             let (mine, s, stats) = r?;
             steals += s;
+            worker_stats.add(&stats);
             self.engine.absorb_stats(&stats);
             for (c, outs, passes) in mine {
                 slots[c] = Some((outs, passes));
@@ -455,6 +490,7 @@ impl CompiledDriver {
             chunks: n_chunks,
             batch: chunk,
             steals,
+            stats: worker_stats,
         });
         Ok(result)
     }
@@ -522,6 +558,10 @@ impl CompiledDriver {
                     }
                     GridStrategy::MultiCore { threads } => {
                         let r = mcpu::parallel_argmin(&self.engine, eval_fn, grid_size, *threads)?;
+                        // Worker engines died with their threads; fold their
+                        // counter deltas and the scheduler's steal count into
+                        // the template engine.
+                        self.engine.absorb_stats(&r.stats);
                         self.engine.record_steals(r.steals);
                         let best = r.best_index;
                         result.grid = Some(r);
@@ -529,6 +569,7 @@ impl CompiledDriver {
                     }
                     GridStrategy::Gpu(config) => {
                         let r = gpu::run_grid(&self.engine, eval_fn, grid_size, config)?;
+                        self.engine.absorb_stats(&r.stats);
                         let best = r.best_index;
                         result.gpu = Some(r);
                         best

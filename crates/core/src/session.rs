@@ -110,6 +110,21 @@ impl Session {
         self
     }
 
+    /// Enable or disable superinstruction fusion in the execution engine
+    /// (on by default). With fusion off the runner executes the plain
+    /// predecoded form — the PR 3 interpreter — which is the A/B baseline
+    /// `figures --fused` measures against.
+    ///
+    /// The `DISTILL_FUSE` environment kill switch wins over an explicit
+    /// `fuse(true)`: when the environment disables fusion, every runner of
+    /// the process runs unfused regardless of this knob, so a whole A/B
+    /// sweep can be forced without touching call sites.
+    #[must_use]
+    pub fn fuse(mut self, fuse: bool) -> Session {
+        self.config.fuse = fuse;
+        self
+    }
+
     /// Replace the whole compile configuration at once.
     #[must_use]
     pub fn compile_config(mut self, config: CompileConfig) -> Session {

@@ -159,6 +159,87 @@ pub enum DecodedInst {
         /// Pre-resolved base slot address.
         addr: usize,
     },
+
+    // -- Fused superinstructions ------------------------------------------
+    // The variants below are never produced by `decode_function`; they are
+    // emitted by the peephole/fusion pass in [`crate::fuse`], which rewrites
+    // decoded blocks so that common instruction pairs execute as a single
+    // dispatch. The executor handles both dialects with one loop.
+    /// Load from a fully-resolved absolute slot address (a
+    /// `global_addr`/constant-GEP addressing chain folded away).
+    LoadAbs {
+        /// Absolute slot address.
+        addr: usize,
+    },
+    /// Store to a fully-resolved absolute slot address.
+    StoreAbs {
+        /// Absolute slot address.
+        addr: usize,
+        /// Value to store.
+        value: Operand,
+    },
+    /// `gep` + `load` fused: compute the address and read through it in one
+    /// dispatch.
+    GepLoad {
+        /// Base pointer operand.
+        base: Operand,
+        /// Constant part of the folded index path, in slots.
+        const_offset: u32,
+        /// Remaining dynamic steps: `(index operand, element stride)`.
+        dyn_steps: Box<[(Operand, u32)]>,
+    },
+    /// `gep` + `store` fused.
+    GepStore {
+        /// Base pointer operand.
+        base: Operand,
+        /// Constant part of the folded index path, in slots.
+        const_offset: u32,
+        /// Remaining dynamic steps: `(index operand, element stride)`.
+        dyn_steps: Box<[(Operand, u32)]>,
+        /// Value to store.
+        value: Operand,
+    },
+    /// Binary op with a register left operand and an immediate right operand
+    /// (`reg OP imm`): skips one operand resolution per execution.
+    BinRI {
+        /// The operation.
+        op: BinOp,
+        /// Frame register of the left operand.
+        reg: u32,
+        /// Immediate right operand.
+        imm: Value,
+    },
+    /// Binary op with an immediate left operand (`imm OP reg`).
+    BinIR {
+        /// The operation.
+        op: BinOp,
+        /// Immediate left operand.
+        imm: Value,
+        /// Frame register of the right operand.
+        reg: u32,
+    },
+    /// `load` + binary op fused: the loaded value feeds one side of the op.
+    LoadBin {
+        /// The operation.
+        op: BinOp,
+        /// Pointer operand of the absorbed load.
+        ptr: Operand,
+        /// The other (non-loaded) operand.
+        other: Operand,
+        /// Whether the loaded value is the left operand.
+        load_lhs: bool,
+    },
+    /// Binary op + `store` fused: the result goes straight to memory.
+    BinStore {
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Pointer operand of the absorbed store.
+        ptr: Operand,
+    },
 }
 
 /// The phi copies to perform when entering a block through one predecessor.
@@ -199,6 +280,21 @@ pub enum DecodedTerm {
     /// a function under construction); executing it panics like the
     /// reference interpreter's `expect`.
     Missing,
+    /// A `cmp` fused into the conditional branch it fed (emitted only by
+    /// [`crate::fuse`]): predicate evaluation and the two-way branch execute
+    /// as one dispatch, with no intermediate register write.
+    CmpBr {
+        /// The comparison predicate.
+        pred: CmpPred,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Successor when true.
+        then_blk: u32,
+        /// Successor when false.
+        else_blk: u32,
+    },
 }
 
 /// A decoded basic block.
@@ -223,8 +319,12 @@ pub struct DecodedFunction {
     pub name: String,
     /// Entry block arena index, `None` for declarations / empty bodies.
     pub entry: Option<u32>,
-    /// Register file size (the function's value arena size).
+    /// Register file size: the value arena size as decoded, or the compacted
+    /// slot count after [`crate::fuse`] renumbers the frame.
     pub num_values: u32,
+    /// Number of parameters (always the first `num_params` registers, on
+    /// both the decoded and the fused form).
+    pub num_params: u32,
     /// Blocks indexed by arena index (branch targets are arena ids).
     pub blocks: Box<[DecodedBlock]>,
 }
@@ -252,6 +352,7 @@ pub fn decode_function(func: &Function, global_base: &[usize]) -> DecodedFunctio
         name: func.name.clone(),
         entry: func.entry_block().map(|b| b.index() as u32),
         num_values: func.value_count() as u32,
+        num_params: func.param_count() as u32,
         blocks,
     }
 }

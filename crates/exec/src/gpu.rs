@@ -23,7 +23,7 @@
 //! register throttle drops while run time gets worse, and fp32 ≈ fp64 —
 //! and of Fig. 5c, where the GPU beats the 12-thread CPU by a modest factor.
 
-use crate::engine::{Engine, ExecError};
+use crate::engine::{Engine, EngineStats, ExecError};
 use distill_ir::FuncId;
 
 /// Configuration of the simulated device (defaults follow the paper's
@@ -107,6 +107,10 @@ pub struct GpuRunReport {
     pub kernel_time_s: f64,
     /// Modelled total time in seconds (launch overhead + kernel).
     pub total_time_s: f64,
+    /// Engine counters the simulated launch accumulated (the evaluation
+    /// context dies with the launch, so the delta is handed back for the
+    /// driver to fold into its template engine).
+    pub stats: EngineStats,
 }
 
 /// Execute the evaluation kernel for every grid point on the simulated GPU
@@ -121,12 +125,19 @@ pub fn run_grid(
     config: &GpuConfig,
 ) -> Result<GpuRunReport, ExecError> {
     // ---- functional execution (one logical thread per grid point) --------
+    // The kernel runs through the *unfused* decoded path on purpose: the
+    // timing model below consumes the per-thread instruction count, which
+    // must approximate the kernel's architectural instruction stream — not
+    // the host interpreter's dispatch count, which shrinks when the fusion
+    // knob is on. A host-side peephole pass must never change modelled GPU
+    // time.
     let mut ctx = crate::mcpu::EvalContext::new(engine, eval_func);
     let mut best = (usize::MAX, f64::INFINITY);
     let mut kernel_instructions = 0u64;
+    let base_stats = ctx.engine().stats();
     for i in 0..grid_size {
         let before = ctx.engine().stats().instructions;
-        let cost = ctx.eval(i)?;
+        let cost = ctx.eval_decoded(i)?;
         kernel_instructions += ctx.engine().stats().instructions - before;
         best = crate::mcpu::argmin_better(best, i, cost);
     }
@@ -181,6 +192,7 @@ pub fn run_grid(
         registers_used,
         kernel_time_s,
         total_time_s: kernel_time_s + config.launch_overhead_s,
+        stats: ctx.engine().stats_since(&base_stats),
     })
 }
 

@@ -22,11 +22,13 @@
 
 pub mod decode;
 pub mod engine;
+pub mod fuse;
 pub mod gpu;
 pub mod mcpu;
 pub mod shard;
 
-pub use engine::{Engine, EngineStats, ExecError, Value};
+pub use engine::{Engine, EngineStats, ExecConfig, ExecError, Value};
+pub use fuse::FuseSummary;
 pub use gpu::{GpuConfig, GpuRunReport};
 pub use mcpu::{
     parallel_argmin, parallel_argmin_static, serial_argmin, EvalContext, ParallelResult,

@@ -21,7 +21,7 @@
 //! point — the paper's reproducibility requirement — and therefore the
 //! argmin is deterministic under any schedule.
 
-use crate::engine::{Engine, ExecError, Value};
+use crate::engine::{Engine, EngineStats, ExecError, Value};
 use crate::shard::{ChunkQueue, GrabCount};
 use distill_ir::FuncId;
 
@@ -41,6 +41,11 @@ pub struct ParallelResult {
     /// for the serial and static-chunk paths and for single-worker runs
     /// (a lone worker draining the queue is self-scheduling, not stealing).
     pub steals: u64,
+    /// Engine counters the evaluation contexts accumulated (summed across
+    /// workers). Worker engines die with their threads, so the scheduler
+    /// hands the deltas back for the driver to fold into its template
+    /// engine's [`EngineStats`].
+    pub stats: EngineStats,
 }
 
 /// The argmin accumulator's initial state.
@@ -88,16 +93,35 @@ impl EvalContext {
     /// Propagates engine failures; a kernel not returning `f64` is a type
     /// error.
     pub fn eval(&mut self, index: usize) -> Result<f64, ExecError> {
-        self.engine
-            .call(self.eval_func, &[Value::I64(index as i64)])?
-            .as_f64()
-            .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))
+        as_cost(self.engine.call(self.eval_func, &[Value::I64(index as i64)]))
+    }
+
+    /// Evaluate one grid point through the **unfused** decoded path. The
+    /// simulated GPU uses this so its per-thread instruction counts
+    /// approximate the kernel's architectural instruction stream rather
+    /// than the host interpreter's (fusion-dependent) dispatch count.
+    ///
+    /// # Errors
+    /// Same surface as [`EvalContext::eval`].
+    pub fn eval_decoded(&mut self, index: usize) -> Result<f64, ExecError> {
+        as_cost(
+            self.engine
+                .call_decoded(self.eval_func, &[Value::I64(index as i64)]),
+        )
     }
 
     /// The context's engine (e.g. to inspect statistics after a sweep).
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
+}
+
+/// Interpret a kernel result as a cost (the one definition of the
+/// "kernel must return f64" contract, shared by both evaluation paths).
+fn as_cost(result: Result<Value, ExecError>) -> Result<f64, ExecError> {
+    result?
+        .as_f64()
+        .ok_or_else(|| ExecError::Type("evaluation kernel must return f64".into()))
 }
 
 fn empty_result(threads: usize) -> ParallelResult {
@@ -107,6 +131,7 @@ fn empty_result(threads: usize) -> ParallelResult {
         evaluations: 0,
         threads,
         steals: 0,
+        stats: EngineStats::default(),
     }
 }
 
@@ -135,7 +160,8 @@ pub fn parallel_argmin(
     // amortize the shared counter, fine enough (≥ 8 chunks per worker) that
     // one expensive tail region cannot serialize the sweep.
     let queue = ChunkQueue::balanced(grid_size, threads, 8, 1024);
-    let results: Vec<Result<((usize, f64), u64), ExecError>> = std::thread::scope(|scope| {
+    type WorkerOut = ((usize, f64), u64, EngineStats);
+    let results: Vec<Result<WorkerOut, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let queue = &queue;
@@ -144,6 +170,9 @@ pub fn parallel_argmin(
             handles.push(scope.spawn(move || {
                 let mut best = ARGMIN_INIT;
                 let mut grabs = GrabCount::default();
+                // The clone starts from the template's counters; only the
+                // delta is this worker's own work.
+                let base_stats = ctx.engine().stats();
                 while let Some(range) = queue.grab() {
                     grabs.record();
                     for i in range {
@@ -152,9 +181,9 @@ pub fn parallel_argmin(
                 }
                 // Every grab beyond the worker's first is a steal from the
                 // shared queue. Worker engines die with their thread, so the
-                // count is returned for the reduction; drivers fold the
-                // total into their template engine's stats.
-                Ok((best, grabs.steals()))
+                // count and the counter delta are returned for the
+                // reduction; drivers fold both into their template engine.
+                Ok((best, grabs.steals(), ctx.engine().stats_since(&base_stats)))
             }));
         }
         handles
@@ -165,9 +194,11 @@ pub fn parallel_argmin(
 
     let mut best = ARGMIN_INIT;
     let mut steals = 0u64;
+    let mut stats = EngineStats::default();
     for r in results {
-        let ((i, c), s) = r?;
+        let ((i, c), s, worker_stats) = r?;
         steals += s;
+        stats.add(&worker_stats);
         if i != usize::MAX {
             best = argmin_better(best, i, c);
         }
@@ -183,6 +214,7 @@ pub fn parallel_argmin(
         evaluations: grid_size,
         threads,
         steals,
+        stats,
     })
 }
 
@@ -205,32 +237,36 @@ pub fn parallel_argmin_static(
         return Ok(empty_result(threads));
     }
     let chunk = grid_size.div_ceil(threads);
-    let results: Vec<Result<(usize, f64), ExecError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(grid_size);
-            if lo >= hi {
-                continue;
-            }
-            let mut ctx = EvalContext::new(engine, eval_func);
-            handles.push(scope.spawn(move || {
-                let mut best = ARGMIN_INIT;
-                for i in lo..hi {
-                    best = argmin_better(best, i, ctx.eval(i)?);
+    let results: Vec<Result<((usize, f64), EngineStats), ExecError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(grid_size);
+                if lo >= hi {
+                    continue;
                 }
-                Ok(best)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+                let mut ctx = EvalContext::new(engine, eval_func);
+                handles.push(scope.spawn(move || {
+                    let mut best = ARGMIN_INIT;
+                    let base_stats = ctx.engine().stats();
+                    for i in lo..hi {
+                        best = argmin_better(best, i, ctx.eval(i)?);
+                    }
+                    Ok((best, ctx.engine().stats_since(&base_stats)))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
     let mut best = ARGMIN_INIT;
+    let mut stats = EngineStats::default();
     for r in results {
-        let (i, c) = r?;
+        let ((i, c), worker_stats) = r?;
+        stats.add(&worker_stats);
         if i != usize::MAX {
             best = argmin_better(best, i, c);
         }
@@ -241,6 +277,7 @@ pub fn parallel_argmin_static(
         evaluations: grid_size,
         threads,
         steals: 0,
+        stats,
     })
 }
 
@@ -261,6 +298,7 @@ pub fn serial_argmin(
     }
     let mut ctx = EvalContext::new(engine, eval_func);
     let mut best = ARGMIN_INIT;
+    let base_stats = ctx.engine().stats();
     for i in 0..grid_size {
         best = argmin_better(best, i, ctx.eval(i)?);
     }
@@ -270,6 +308,7 @@ pub fn serial_argmin(
         evaluations: grid_size,
         threads: 1,
         steals: 0,
+        stats: ctx.engine().stats_since(&base_stats),
     })
 }
 

@@ -99,6 +99,24 @@ impl DynValue {
         }
     }
 
+    /// Position of `key` in the association list (the slot the interpreter's
+    /// dispatch cache pre-resolves; entries are never removed, so a slot
+    /// stays valid for the dictionary's lifetime).
+    pub fn dict_slot(&self, key: &str) -> Option<usize> {
+        match self {
+            DynValue::Dict(items) => items.iter().position(|(k, _)| k == key),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` entry at a slot position.
+    pub fn dict_entry(&self, slot: usize) -> Option<(&str, &DynValue)> {
+        match self {
+            DynValue::Dict(items) => items.get(slot).map(|(k, v)| (k.as_str(), v)),
+            _ => None,
+        }
+    }
+
     /// Insert or replace a dictionary entry.
     ///
     /// # Panics

@@ -115,6 +115,10 @@ pub struct WorkloadReport {
     pub steals: u64,
     /// Whether sharded outputs and pass counts were bit-identical to serial.
     pub identical: bool,
+    /// Engine counters of the sharded run (per-run delta, worker threads
+    /// included) — attributes instructions, fusion rate and frame-pool
+    /// traffic to this family's trial space.
+    pub run_stats: distill::EngineStats,
     /// The target matrix cells.
     pub targets: Vec<TargetCell>,
 }
@@ -216,6 +220,7 @@ pub fn sweep_workload(
     let identical =
         outputs_bits_equal(&serial.outputs, &sharded.outputs) && serial.passes == sharded.passes;
     let shard_stats = sharded.shards;
+    let run_stats = sharded.stats;
 
     // --- target matrix ------------------------------------------------------
     let probe_spec = RunSpec::new(w.inputs.clone(), w.trials);
@@ -305,6 +310,7 @@ pub fn sweep_workload(
         chunks: shard_stats.map(|s| s.chunks).unwrap_or(0),
         steals: shard_stats.map(|s| s.steals).unwrap_or(0),
         identical,
+        run_stats,
         targets,
     })
 }

@@ -1,22 +1,27 @@
-//! Differential suite: the predecoded hot-path engine against the retained
-//! IR-walking reference interpreter.
+//! Differential suite: the fused superinstruction path against the unfused
+//! predecoded engine against the retained IR-walking reference interpreter.
 //!
-//! Every model family behind the paper's figures (Fig. 2–7) is compiled and
-//! executed twice over the same module — once through `Engine::call`
-//! (predecoded) and once through `Engine::call_reference` (the pre-predecode
-//! implementation) — asserting bit-identical trial outputs *and* bit-identical
-//! final memory images. Targeted edge cases cover phi edges, terminators,
-//! frame-pool reuse, and the work-stealing grid scheduler against the
-//! static-chunk and serial paths on a seeded skewed-cost grid.
+//! The family coverage is **data-driven over the workload registry**
+//! (`distill_models::registry`): every registered family — the Fig. 2–7
+//! models plus the stress families (`predator_prey_skewed`, `gpu_stress`)
+//! and anything registered after them — is compiled and executed three times
+//! over the same module: through `Engine::call` (fused), through
+//! `Engine::call_decoded` (the unfused predecoded form) and through
+//! `Engine::call_reference` (the original IR walker), asserting bit-identical
+//! trial outputs *and* bit-identical final memory images. Registering a new
+//! family is all it takes to put it under this differential.
+//!
+//! Targeted edge cases cover phi edges, terminators, frame-pool reuse,
+//! per-node artifacts, O0/O3 IR shapes, and the work-stealing grid scheduler
+//! against the static-chunk and serial paths on a seeded skewed-cost grid.
 
 use distill::{
     compile, global_names as gn, parallel_argmin, parallel_argmin_static, serial_argmin,
-    CompileConfig, CompileMode, CompiledModel, Engine, ExecError, OptLevel, Value,
+    CompileConfig, CompileMode, CompiledModel, Engine, ExecConfig, ExecError, OptLevel, Value,
 };
 use distill_ir::{BinOp, CmpPred, FunctionBuilder, Module, Terminator, Ty};
 use distill_models::{
-    botvinick_stroop, extended_stroop_a, extended_stroop_b, multitasking, necker_cube_s,
-    predator_prey, predator_prey_s, vectorized_necker_cube, Workload,
+    botvinick_stroop, multitasking, predator_prey, predator_prey_s, registry, Scale, Workload,
 };
 
 /// Flatten one trial input into the `ext_input` layout through the same
@@ -28,68 +33,107 @@ fn flatten(w: &Workload, artifact: &CompiledModel, trial: usize) -> Vec<f64> {
     }
 }
 
-/// Run `trials` whole-model trials on both paths and assert bit-identical
-/// behaviour: same results, same trial outputs, same final memory.
+/// Run `trials` whole-model trials on all three paths — fused, unfused
+/// predecoded, IR-walking reference — and assert bit-identical behaviour:
+/// same results, same trial outputs, same final memory.
 fn differential_whole_model(w: &Workload, config: CompileConfig, trials: usize) {
     let artifact = compile(&w.model, config).expect("compilation succeeds");
     let trial_fn = artifact
         .trial_func
         .expect("whole-model artifact has a trial function");
     let out_len = artifact.layout.trial_output_len;
-    let mut fast = Engine::new(artifact.module.clone());
+    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
+    // three-way differential to decoded-vs-decoded.
+    let mut fused =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
+    let mut decoded =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
     let mut slow = Engine::new(artifact.module.clone());
+    let out_bits = |e: &Engine| -> Vec<u64> {
+        e.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    };
     for trial in 0..trials {
         let flat = flatten(w, &artifact, trial);
-        fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+        fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+        decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
         slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
         let args = [Value::I64(trial as i64)];
-        let rf = fast.call(trial_fn, &args);
+        let rf = fused.call(trial_fn, &args);
+        let rd = decoded.call_decoded(trial_fn, &args);
         let rs = slow.call_reference(trial_fn, &args);
-        assert_eq!(rf, rs, "{}: trial {trial} diverged", w.model.name);
-        let of: Vec<u64> = fast.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
-            .iter()
-            .map(|v| v.to_bits())
-            .collect();
-        let os: Vec<u64> = slow.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
-            .iter()
-            .map(|v| v.to_bits())
-            .collect();
-        assert_eq!(of, os, "{}: trial {trial} outputs diverged", w.model.name);
+        assert_eq!(rf, rd, "{}: trial {trial}: fused vs decoded", w.model.name);
+        assert_eq!(rd, rs, "{}: trial {trial}: decoded vs reference", w.model.name);
+        let of = out_bits(&fused);
+        assert_eq!(
+            of,
+            out_bits(&decoded),
+            "{}: trial {trial} outputs diverged (fused vs decoded)",
+            w.model.name
+        );
+        assert_eq!(
+            of,
+            out_bits(&slow),
+            "{}: trial {trial} outputs diverged (fused vs reference)",
+            w.model.name
+        );
     }
     assert_eq!(
-        fast.memory_bits(),
+        fused.memory_bits(),
+        decoded.memory_bits(),
+        "{}: final memory diverged (fused vs decoded)",
+        w.model.name
+    );
+    assert_eq!(
+        fused.memory_bits(),
         slow.memory_bits(),
-        "{}: final memory diverged",
+        "{}: final memory diverged (fused vs reference)",
         w.model.name
     );
 }
 
-/// Run the controller's grid-evaluation kernel on both paths.
+/// Run the controller's grid-evaluation kernel on all three paths.
 fn differential_eval_kernel(w: &Workload, config: CompileConfig, points: usize) {
     let artifact = compile(&w.model, config).expect("compilation succeeds");
     let Some(eval_fn) = artifact.eval_func else {
         return;
     };
-    let mut fast = Engine::new(artifact.module.clone());
+    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
+    // three-way differential to decoded-vs-decoded.
+    let mut fused =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
+    let mut decoded =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
     let mut slow = Engine::new(artifact.module.clone());
     let flat = flatten(w, &artifact, 0);
-    fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
     slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
     for g in 0..points.min(artifact.grid_size) {
         let args = [Value::I64(g as i64)];
-        let rf = fast.call(eval_fn, &args).unwrap().as_f64().unwrap();
+        let rf = fused.call(eval_fn, &args).unwrap().as_f64().unwrap();
+        let rd = decoded.call_decoded(eval_fn, &args).unwrap().as_f64().unwrap();
         let rs = slow.call_reference(eval_fn, &args).unwrap().as_f64().unwrap();
         assert_eq!(
             rf.to_bits(),
+            rd.to_bits(),
+            "{}: grid point {g} diverged (fused vs decoded)",
+            w.model.name
+        );
+        assert_eq!(
+            rd.to_bits(),
             rs.to_bits(),
-            "{}: grid point {g} diverged",
+            "{}: grid point {g} diverged (decoded vs reference)",
             w.model.name
         );
     }
-    assert_eq!(fast.memory_bits(), slow.memory_bits());
+    assert_eq!(fused.memory_bits(), decoded.memory_bits());
+    assert_eq!(fused.memory_bits(), slow.memory_bits());
 }
 
-/// Run every per-node function once on both paths.
+/// Run every per-node function once on all three paths.
 fn differential_per_node(w: &Workload, config: CompileConfig) {
     let artifact = compile(
         &w.model,
@@ -99,44 +143,52 @@ fn differential_per_node(w: &Workload, config: CompileConfig) {
         },
     )
     .expect("compilation succeeds");
-    let mut fast = Engine::new(artifact.module.clone());
+    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
+    // three-way differential to decoded-vs-decoded.
+    let mut fused =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
+    let mut decoded =
+        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
     let mut slow = Engine::new(artifact.module.clone());
     let flat = flatten(w, &artifact, 0);
-    fast.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
     slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
     for &node_fn in &artifact.node_funcs {
-        let rf = fast.call(node_fn, &[]);
+        let rf = fused.call(node_fn, &[]);
+        let rd = decoded.call_decoded(node_fn, &[]);
         let rs = slow.call_reference(node_fn, &[]);
-        assert_eq!(rf, rs, "{}: node function diverged", w.model.name);
+        assert_eq!(rf, rd, "{}: node function diverged (fused)", w.model.name);
+        assert_eq!(rd, rs, "{}: node function diverged (decoded)", w.model.name);
     }
-    assert_eq!(fast.memory_bits(), slow.memory_bits());
+    assert_eq!(fused.memory_bits(), decoded.memory_bits());
+    assert_eq!(fused.memory_bits(), slow.memory_bits());
 }
 
 #[test]
-fn fig2_family_trials_are_bit_identical() {
-    // The Fig. 2 model family (predator-prey attention) — also the workload
-    // `figures --interp` measures the >= 2x speedup on.
-    differential_whole_model(&predator_prey_s(), CompileConfig::default(), 6);
+fn every_registered_family_is_bit_identical_across_engines() {
+    // Data-driven over the registry: whoever registers a family gets this
+    // three-way differential (fused / decoded / reference) for free —
+    // including the stress families (`predator_prey_skewed`, `gpu_stress`)
+    // that predate nothing but this suite's hard-coded fig2–fig7 list.
+    for spec in registry::registry() {
+        let w = spec.build(Scale::Reduced);
+        differential_whole_model(&w, CompileConfig::default(), 3);
+    }
 }
 
 #[test]
-fn fig3_family_trials_are_bit_identical() {
-    differential_whole_model(&extended_stroop_a(), CompileConfig::default(), 3);
-    differential_whole_model(&extended_stroop_b(), CompileConfig::default(), 3);
+fn every_registered_controller_grid_kernel_is_bit_identical() {
+    for spec in registry::registry() {
+        let w = spec.build(Scale::Reduced);
+        // Families without a controller return early (no eval kernel).
+        differential_eval_kernel(&w, CompileConfig::default(), 8);
+    }
 }
 
 #[test]
-fn fig4_family_trials_are_bit_identical() {
-    differential_whole_model(&necker_cube_s(), CompileConfig::default(), 3);
-    differential_whole_model(&vectorized_necker_cube(), CompileConfig::default(), 2);
-    differential_whole_model(&multitasking(), CompileConfig::default(), 2);
-}
-
-#[test]
-fn fig5b_family_per_node_and_whole_model_are_bit_identical() {
-    let w = botvinick_stroop();
-    differential_whole_model(&w, CompileConfig::default(), 2);
-    differential_per_node(&w, CompileConfig::default());
+fn fig5b_family_per_node_artifacts_are_bit_identical() {
+    differential_per_node(&botvinick_stroop(), CompileConfig::default());
 }
 
 #[test]
@@ -419,6 +471,51 @@ fn multicore_driver_folds_steals_into_engine_stats() {
     if grid.evaluations >= 2 * grid.threads {
         assert!(grid.steals > 0, "a drained queue implies re-grabs: {grid:?}");
     }
+    // Worker engines die with their threads; their counter deltas must be
+    // folded into the template engine rather than lost.
+    assert!(
+        grid.stats.instructions > 0,
+        "grid workers must report their instruction counts: {:?}",
+        grid.stats
+    );
+    // The per-run view: the result attributes the counters (worker deltas
+    // included) to the spec that produced them.
+    assert_eq!(result.stats.steals, grid.steals);
+    assert!(
+        result.stats.instructions >= grid.stats.instructions,
+        "per-run stats must include worker work: {:?} vs {:?}",
+        result.stats,
+        grid.stats
+    );
+    if distill::ExecConfig::default().fuse {
+        assert!(
+            result.stats.fused_ops > 0,
+            "fusion is on by default, superinstructions must execute: {:?}",
+            result.stats
+        );
+    }
+}
+
+#[test]
+fn run_results_carry_per_run_stats_not_engine_lifetime_aggregates() {
+    use distill::{RunSpec, Session};
+    let w = predator_prey_s();
+    let mut runner = Session::new(&w.model).build().expect("runner builds");
+    let spec = RunSpec::new(w.inputs.clone(), 2);
+    let first = runner.run(&spec).expect("first run");
+    let second = runner.run(&spec).expect("second run");
+    assert!(first.stats.instructions > 0);
+    // Same spec, same engine: the second result reports the second run's
+    // work, not the accumulated lifetime counters.
+    assert_eq!(first.stats.instructions, second.stats.instructions);
+    assert_eq!(first.stats.calls, second.stats.calls);
+    // The sharded path attributes worker deltas to the shard stats too.
+    let sharded = runner
+        .run(&RunSpec::new(w.inputs.clone(), 8).with_batch(4).with_shards(2))
+        .expect("sharded run");
+    let shards = sharded.shards.expect("sharded run reports shard stats");
+    assert!(shards.stats.instructions > 0);
+    assert!(sharded.stats.instructions >= shards.stats.instructions);
 }
 
 #[test]

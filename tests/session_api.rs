@@ -190,6 +190,42 @@ fn runner_metadata_reflects_the_target() {
     assert_eq!(mcpu.target_label(), "multi-core:2");
 }
 
+/// Property: the session's fusion knob selects the engine's execution form
+/// — identical outputs either way, superinstructions only when fused.
+#[test]
+fn fusion_knob_is_a_pure_performance_switch() {
+    let w = predator_prey_s();
+    let spec = RunSpec::new(w.inputs.clone(), 4);
+    let mut fused = Session::new(&w.model).build().unwrap();
+    let mut unfused = Session::new(&w.model).fuse(false).build().unwrap();
+    let a = fused.run(&spec).unwrap();
+    let b = unfused.run(&spec).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.passes, b.passes);
+    if !distill::ExecConfig::default().fuse {
+        // DISTILL_FUSE=0 in the environment overrides the session knob by
+        // design; the fusion-specific assertions below would be vacuous.
+        return;
+    }
+    assert!(
+        a.stats.fused_ops > 0,
+        "fused runner must execute superinstructions: {:?}",
+        a.stats
+    );
+    assert_eq!(
+        b.stats.fused_ops, 0,
+        "unfused runner must not report superinstructions: {:?}",
+        b.stats
+    );
+    // Liveness compaction shows up as fewer frame slots for the same work.
+    assert!(
+        a.stats.frame_slots < b.stats.frame_slots,
+        "fused frames must be smaller: {:?} vs {:?}",
+        a.stats,
+        b.stats
+    );
+}
+
 /// The boxed runner can be driven generically.
 fn drive(runner: &mut dyn Runner, spec: &RunSpec) -> usize {
     runner.run(spec).map(|r| r.outputs.len()).unwrap_or(0)
