@@ -11,6 +11,9 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release)"
 cargo build --release --workspace
 
+echo "== clippy (warnings denied)"
+cargo clippy --workspace -- -D warnings
+
 echo "== test"
 cargo test -q --workspace
 
@@ -25,11 +28,13 @@ cargo run --release --example quickstart
 cargo run --release --example predator_prey_attention
 cargo run --release --example model_analysis
 
-echo "== figures (reduced workloads incl. the sweep + fused figures, JSON to bench_results/)"
+echo "== figures (reduced workloads incl. the sweep + fused + tiers figures, JSON to bench_results/)"
 # The default run covers every figure, including `sweep` — the reduced
 # registry sweep (serial vs sharded+batched per family, bit-identity
-# verified) — and `fused` (the superinstruction path vs the unfused
-# predecoded interpreter), both of which the gates below read.
+# verified) — `fused` (the superinstruction path vs the unfused predecoded
+# interpreter) and `tiers` (direct-threaded dispatch vs the fused
+# interpreter, plus the adaptive tier-up probe), all of which the gates
+# below read.
 cargo run --release -p distill-bench --bin figures
 
 echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run)"
@@ -41,9 +46,12 @@ echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run
 # median within a MAD band. Machine-independent gates on the fresh
 # snapshot: the predecoded-engine speedup (>= 2x over the reference
 # interpreter), the fused-superinstruction speedup (>= 1.15x over the
-# predecoded interpreter, bit-identical outputs), the sweep subsystem's
-# sharded+batched speedup (>= 1.5x over per-trial multicore grid search)
-# and the sweep's bit-identity flags.
+# predecoded interpreter, bit-identical outputs), the direct-threaded
+# dispatch speedup (>= 1.05x over the fused interpreter on the cost-skewed
+# anchor, bit-identical to fused and to the reference oracle, adaptive
+# probe promoting and matching), the sweep subsystem's sharded+batched
+# speedup (>= 1.5x over per-trial multicore grid search) and the sweep's
+# bit-identity flags.
 # The committed baseline records absolute timings from one machine; when
 # this gate moves to a much slower host, refresh the snapshot once with
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
@@ -55,6 +63,7 @@ cargo run --release -p distill-bench --bin bench-diff -- \
   $HISTORY \
   bench_results/baseline/figures.json bench_results/figures.json \
   --threshold 1.5 --min-seconds 0.1 \
-  --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15
+  --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15 \
+  --min-threaded-speedup 1.05
 
 echo "CI OK"

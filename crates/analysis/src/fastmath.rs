@@ -57,9 +57,9 @@ pub fn apply_fast_math(func: &mut Function, opts: &VrpOptions) -> usize {
                         changed += 1;
                     }
                 }
-                BinOp::FDiv => {
+                BinOp::FDiv
                     // x / x → 1.0 when x is finite and provably non-zero.
-                    if lhs == rhs {
+                    if lhs == rhs => {
                         let r = range_of(lhs);
                         if r.is_finite() && r.excludes_zero() {
                             let one = func.add_constant(Constant::F64(1.0));
@@ -68,16 +68,14 @@ pub fn apply_fast_math(func: &mut Function, opts: &VrpOptions) -> usize {
                             changed += 1;
                         }
                     }
-                }
-                BinOp::FSub => {
+                BinOp::FSub
                     // x - x → 0.0 when x is finite (NaN - NaN would be NaN).
-                    if lhs == rhs && range_of(lhs).is_finite() {
+                    if lhs == rhs && range_of(lhs).is_finite() => {
                         let zero = func.add_constant(Constant::F64(0.0));
                         func.replace_all_uses(v, zero);
                         func.unschedule(v);
                         changed += 1;
                     }
-                }
                 _ => {}
             }
         }

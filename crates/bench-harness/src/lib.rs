@@ -121,6 +121,7 @@ impl GroupReport {
 }
 
 /// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
 pub struct Criterion {
     config: Config,
     filter: Option<String>,
@@ -133,19 +134,6 @@ pub struct Criterion {
     reports: Vec<GroupReport>,
 }
 
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion {
-            config: Config::default(),
-            filter: None,
-            list_mode: false,
-            test_mode: false,
-            output_dir: None,
-            quiet: false,
-            reports: Vec::new(),
-        }
-    }
-}
 
 impl Criterion {
     /// Set the target number of samples per benchmark (min 2).

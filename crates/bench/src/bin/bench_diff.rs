@@ -19,6 +19,10 @@
 //!                           superinstruction path over the unfused
 //!                           predecoded interpreter on the Fig. 2 workload
 //!                           (default 1.15; 0 disables)
+//!   --min-threaded-speedup X required `tiers` median speedup of the
+//!                           direct-threaded dispatch tier over the fused
+//!                           interpreter on the cost-skewed predator-prey
+//!                           workload (default 1.05; 0 disables)
 //! ```
 //!
 //! Each input is one of:
@@ -61,13 +65,14 @@ struct Options {
     min_interp_speedup: f64,
     min_sweep_speedup: f64,
     min_fused_speedup: f64,
+    min_threaded_speedup: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
          [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X] \
-         [--min-fused-speedup X]"
+         [--min-fused-speedup X] [--min-threaded-speedup X]"
     );
     exit(2);
 }
@@ -82,6 +87,7 @@ fn parse_args() -> Options {
         min_interp_speedup: 2.0,
         min_sweep_speedup: 1.5,
         min_fused_speedup: 1.15,
+        min_threaded_speedup: 1.05,
     };
     let mut i = 0;
     while i < args.len() {
@@ -99,6 +105,7 @@ fn parse_args() -> Options {
             "--min-interp-speedup" => opts.min_interp_speedup = flag_value(&mut i),
             "--min-sweep-speedup" => opts.min_sweep_speedup = flag_value(&mut i),
             "--min-fused-speedup" => opts.min_fused_speedup = flag_value(&mut i),
+            "--min-threaded-speedup" => opts.min_threaded_speedup = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
             other => opts.paths.push(other.to_string()),
         }
@@ -390,6 +397,54 @@ fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
                     name_of(w, "name").unwrap_or("?")
                 ));
             }
+        }
+    }
+    if let Some(tiers) = find(&newest.figures, "figure", "tiers") {
+        // The gate anchors on the cost-skewed family — the workload whose
+        // long hot inner loop makes dispatch overhead measurable; identity
+        // flags apply to every measured workload.
+        let workloads = stat(tiers, &["workloads"]).and_then(Json::as_arr);
+        let anchor = workloads.and_then(|ws| {
+            ws.iter()
+                .find(|w| name_of(w, "name") == Some("predator_prey_skewed"))
+        });
+        if opts.min_threaded_speedup > 0.0 {
+            match anchor
+                .and_then(|w| w.get("speedup_median"))
+                .and_then(Json::as_f64)
+            {
+                Some(s) if s >= opts.min_threaded_speedup => v.note(format!(
+                    "{:<38} x{s:.3} (>= x{:.2})  ok",
+                    "threaded speedup gate (vs fused)", opts.min_threaded_speedup
+                )),
+                Some(s) => v.fail(format!(
+                    "threaded speedup x{s:.3} below required x{:.2} over the fused \
+                     interpreter",
+                    opts.min_threaded_speedup
+                )),
+                None => v.fail(
+                    "tiers record lacks the predator_prey_skewed speedup_median".to_string(),
+                ),
+            }
+        }
+        for w in workloads.unwrap_or(&[]) {
+            let name = name_of(w, "name").unwrap_or("?");
+            if w.get("outputs_match").and_then(Json::as_bool) == Some(false) {
+                v.fail(format!(
+                    "threaded outputs diverged from the fused path on '{name}'"
+                ));
+            }
+            if w.get("reference_match").and_then(Json::as_bool) == Some(false) {
+                v.fail(format!(
+                    "threaded outputs diverged from the reference oracle on '{name}'"
+                ));
+            }
+        }
+        if stat(tiers, &["adaptive_match"]).and_then(Json::as_bool) == Some(false) {
+            v.fail("adaptive tier-up outputs diverged from the reference oracle".to_string());
+        }
+        if stat(tiers, &["tier_promotions"]).and_then(Json::as_f64) == Some(0.0) {
+            v.fail("adaptive tier-up probe performed no promotions".to_string());
         }
     }
     if let Some(sweep) = find(&newest.figures, "figure", "sweep") {

@@ -111,8 +111,8 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 12] = [
-        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
+    const FIGS: [&str; 13] = [
+        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused", "tiers",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -209,11 +209,21 @@ fn main() {
                 }
                 _ => fig = Some("fused".to_string()),
             },
+            // Shorthand for `--fig tiers`: direct-threaded dispatch vs the
+            // fused interpreter on the cost-skewed predator-prey anchor and
+            // the Fig. 2 family, plus the adaptive tier-up probe.
+            "--tiers" => match &fig {
+                Some(f) if f != "tiers" => {
+                    eprintln!("error: --tiers conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("tiers".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused] \
-                     [--batched] [--interp] [--sweep] [--fused] [--full] [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers] \
+                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--full] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -306,6 +316,13 @@ fn main() {
         emit.figure("fused", || {
             let (trials, samples) = if full { (300, 25) } else { (60, 11) };
             let r = bench::fig_fused(trials, samples);
+            (r.render(), r.to_json())
+        });
+    }
+    if want("tiers") {
+        emit.figure("tiers", || {
+            let (trials, samples) = if full { (300, 25) } else { (60, 11) };
+            let r = bench::fig_tiers(trials, samples);
             (r.render(), r.to_json())
         });
     }

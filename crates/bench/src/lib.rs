@@ -13,7 +13,7 @@ use criterion::json::Json;
 use distill::{
     analysis, compile, global_names as gn, parallel_argmin, parallel_argmin_static,
     time_baseline, time_distill, CompileConfig, CompileMode, Engine, ExecConfig, ExecMode,
-    GpuConfig, Measurement, OptLevel, RunSpec, Session, Target, Value,
+    GpuConfig, Measurement, OptLevel, RunSpec, Session, Target, Tier, TierPolicy, Value,
 };
 use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
@@ -697,12 +697,13 @@ struct AbStats {
     outputs_match: bool,
 }
 
-/// The measurement substrate shared by the `interp` and `fused` figures:
-/// run the workload's compiled trial function `trials` times per sample on
-/// two engines over the same module — `fast` driven through `fast_call`,
-/// `slow` through `slow_call` — comparing output bits each sample and
-/// reducing per-trial times to median/MAD. One definition, so the two
-/// figures can never drift apart methodologically.
+/// The measurement substrate shared by the `interp`, `fused` and `tiers`
+/// figures: run the workload's compiled trial function `trials` times per
+/// sample on two engines over the same module — `fast` driven through
+/// `fast_call`, `slow` through `slow_call` — comparing output bits each
+/// sample and reducing per-trial times to median/MAD. One definition, so
+/// the figures can never drift apart methodologically.
+#[allow(clippy::too_many_arguments)] // the A/B's two (engine, entry point) sides are the interface
 fn ab_trial_comparison(
     w: &Workload,
     artifact: &distill::CompiledModel,
@@ -782,8 +783,8 @@ fn ab_trial_comparison(
 pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
     let w = predator_prey_s();
     let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
-    let mut fast = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
-    let mut slow = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
+    let mut fast = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Decoded));
+    let mut slow = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Decoded));
     let ab = ab_trial_comparison(
         &w,
         &artifact,
@@ -936,10 +937,11 @@ fn fused_workload(spec_name: &str, trials: usize, samples: usize) -> FusedWorklo
     let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
     // Two engines over the same module: one runs the fused fast path, the
     // other the retained unfused predecoded path. Both sides are pinned
-    // explicitly — an inherited DISTILL_FUSE=0 must not turn this A/B into
-    // decoded-vs-decoded (and the decoded side skips the unused fuse pass).
-    let mut fused = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
-    let mut decoded = Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
+    // explicitly — an inherited DISTILL_TIER/DISTILL_FUSE must not turn this
+    // A/B into decoded-vs-decoded (and the decoded side skips the unused
+    // fuse pass).
+    let mut fused = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Fused));
+    let mut decoded = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Decoded));
     let ab = ab_trial_comparison(
         &w,
         &artifact,
@@ -980,6 +982,221 @@ pub fn fig_fused(trials: usize, samples: usize) -> FusedReport {
             fused_workload("predator_prey_2", trials, samples),
             fused_workload("predator_prey_skewed", (trials / 8).max(2), samples.min(5)),
         ],
+    }
+}
+
+/// One workload's fused-vs-threaded comparison within [`TiersReport`].
+#[derive(Debug, Clone)]
+pub struct TierWorkloadReport {
+    /// Registry key of the family.
+    pub name: String,
+    /// Built model name.
+    pub model: String,
+    /// Trials per sample.
+    pub trials: usize,
+    /// Timed samples per side.
+    pub samples: usize,
+    /// Median seconds per trial, fused interpreter (`Fixed(Fused)`).
+    pub fused_median_s: f64,
+    /// Scaled median absolute deviation, fused side.
+    pub fused_mad_s: f64,
+    /// Median seconds per trial, direct-threaded dispatch
+    /// (`Fixed(Threaded)`).
+    pub threaded_median_s: f64,
+    /// Scaled median absolute deviation, threaded side.
+    pub threaded_mad_s: f64,
+    /// `fused_median_s / threaded_median_s`.
+    pub speedup_median: f64,
+    /// Whether threaded and fused produced bit-identical trial outputs.
+    pub outputs_match: bool,
+    /// Whether a short threaded run matched the IR-walking reference oracle
+    /// bit for bit (catches threaded-only divergence the fused A/B shares).
+    pub reference_match: bool,
+}
+
+/// `figures --tiers`: direct-threaded dispatch against the fused
+/// interpreter on the cost-skewed predator-prey family (the gated anchor)
+/// and the Fig. 2 family, plus an adaptive tier-up probe — the BENCH
+/// trajectory's before/after datapoint for the tier architecture.
+#[derive(Debug, Clone)]
+pub struct TiersReport {
+    /// One comparison per measured workload (the skewed family first — the
+    /// entry the `--min-threaded-speedup` gate reads).
+    pub workloads: Vec<TierWorkloadReport>,
+    /// Whether the adaptive policy's outputs matched the reference oracle
+    /// across its promotion boundary.
+    pub adaptive_match: bool,
+    /// Promotions the adaptive probe performed (must be non-zero: the probe
+    /// runs well past its threshold).
+    pub tier_promotions: u64,
+}
+
+impl TiersReport {
+    /// Render the per-workload comparison tables and the adaptive verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Tiers: direct-threaded dispatch vs fused interpreter");
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "  -- {} ({} trials x {} samples)",
+                w.model, w.trials, w.samples
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+                "fused", w.fused_median_s, w.fused_mad_s
+            );
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>14.9} s/trial  (MAD {:.3e})",
+                "threaded", w.threaded_median_s, w.threaded_mad_s
+            );
+            let _ = writeln!(
+                out,
+                "  median speedup: x{:.3}   outputs identical: {}   matches reference: {}",
+                w.speedup_median, w.outputs_match, w.reference_match
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  adaptive tier-up: {} promotion(s), matches reference: {}",
+            self.tier_promotions, self.adaptive_match
+        );
+        out
+    }
+
+    /// The comparison as a JSON object (consumed by `bench-diff`'s
+    /// `--min-threaded-speedup` gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("name", Json::str(&w.name)),
+                                ("model", Json::str(&w.model)),
+                                ("trials", w.trials.into()),
+                                ("samples", w.samples.into()),
+                                ("fused_median_s", w.fused_median_s.into()),
+                                ("fused_mad_s", w.fused_mad_s.into()),
+                                ("threaded_median_s", w.threaded_median_s.into()),
+                                ("threaded_mad_s", w.threaded_mad_s.into()),
+                                ("speedup_median", w.speedup_median.into()),
+                                ("outputs_match", w.outputs_match.into()),
+                                ("reference_match", w.reference_match.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("adaptive_match", self.adaptive_match.into()),
+            ("tier_promotions", self.tier_promotions.into()),
+        ])
+    }
+}
+
+fn tier_workload(spec_name: &str, trials: usize, samples: usize) -> TierWorkloadReport {
+    let spec = registry::by_name(spec_name).expect("workload family registered");
+    let w = spec.build(Scale::Reduced);
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    // Both sides pinned to Fixed policies — an inherited DISTILL_TIER must
+    // not degrade the A/B.
+    let mut threaded =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Threaded));
+    let mut fused = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Fused));
+    let ab = ab_trial_comparison(
+        &w,
+        &artifact,
+        trials,
+        samples,
+        &mut threaded,
+        &mut fused,
+        |e, f, a| e.call(f, a),
+        |e, f, a| e.call(f, a),
+    );
+    // Short untimed probe against the reference oracle: divergence shared by
+    // the threaded and fused streams would pass the A/B above unseen.
+    let mut probe =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Threaded));
+    let mut oracle =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Reference));
+    let reference = ab_trial_comparison(
+        &w,
+        &artifact,
+        trials.clamp(1, 4),
+        1,
+        &mut probe,
+        &mut oracle,
+        |e, f, a| e.call(f, a),
+        |e, f, a| e.call(f, a),
+    );
+    TierWorkloadReport {
+        name: spec.name.to_string(),
+        model: w.model.name.clone(),
+        trials,
+        samples,
+        fused_median_s: ab.slow_median_s,
+        fused_mad_s: ab.slow_mad_s,
+        threaded_median_s: ab.fast_median_s,
+        threaded_mad_s: ab.fast_mad_s,
+        speedup_median: ab.speedup_median,
+        outputs_match: ab.outputs_match,
+        reference_match: reference.outputs_match,
+    }
+}
+
+/// Run the threaded-vs-fused comparison on the cost-skewed predator-prey
+/// family (the gated anchor — its long hot inner loop is where dispatch
+/// dominates) and the Fig. 2 family, then probe the adaptive policy across
+/// its promotion boundary against the reference oracle.
+pub fn fig_tiers(trials: usize, samples: usize) -> TiersReport {
+    // Data-driven from the registry's TierAnchor group, skewed entries first
+    // (the gate anchor). The skewed family's trials are an order of
+    // magnitude more expensive, so it runs fewer of them — mirroring
+    // `fig_fused`'s scaling for the same family.
+    let workloads = distill_models::tier_anchors()
+        .into_iter()
+        .map(|spec| {
+            if spec.has_tag(Tag::Skewed) {
+                tier_workload(spec.name, (trials / 8).max(2), samples.min(5))
+            } else {
+                tier_workload(spec.name, trials, samples)
+            }
+        })
+        .collect();
+    // Adaptive probe on the anchor family: enough trials to cross the
+    // promotion threshold mid-run, compared bit-for-bit to the oracle.
+    let spec = registry::by_name("predator_prey_skewed").expect("workload family registered");
+    let w = spec.build(Scale::Reduced);
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let mut adaptive = Engine::with_config(
+        artifact.module.clone(),
+        ExecConfig {
+            policy: TierPolicy::Adaptive {
+                hot_call_threshold: 4,
+            },
+        },
+    );
+    let mut oracle =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Reference));
+    let probe = ab_trial_comparison(
+        &w,
+        &artifact,
+        12,
+        1,
+        &mut adaptive,
+        &mut oracle,
+        |e, f, a| e.call(f, a),
+        |e, f, a| e.call(f, a),
+    );
+    TiersReport {
+        workloads,
+        adaptive_match: probe.outputs_match,
+        tier_promotions: adaptive.stats().tier_promotions,
     }
 }
 
@@ -1154,10 +1371,11 @@ impl SweepFigure {
         );
         let _ = writeln!(
             out,
-            "  -- registry sweep ({} families, {} threads, batch {})",
+            "  -- registry sweep ({} families, {} threads, batch {}, tier {})",
             self.table.workloads.len(),
             self.table.threads,
-            self.table.batch
+            self.table.batch,
+            self.table.tier
         );
         for w in &self.table.workloads {
             let _ = writeln!(
@@ -1193,6 +1411,7 @@ impl SweepFigure {
             ),
             ("threads", self.table.threads.into()),
             ("batch", self.table.batch.into()),
+            ("tier", Json::str(&self.table.tier)),
             ("all_identical", self.table.all_identical().into()),
             (
                 "workloads",
@@ -1217,6 +1436,7 @@ impl SweepFigure {
                                 ("instructions", w.run_stats.instructions.into()),
                                 ("fused_ops", w.run_stats.fused_ops.into()),
                                 ("frame_pool_hits", w.run_stats.frame_pool_hits.into()),
+                                ("tier_promotions", w.run_stats.tier_promotions.into()),
                                 (
                                     "targets",
                                     Json::Arr(
@@ -1554,6 +1774,27 @@ mod tests {
         let text = r.render();
         assert!(text.contains("predecoded"));
         assert!(text.contains("fusion rate"));
+    }
+
+    #[test]
+    fn tiers_figure_is_bit_identical_and_renders() {
+        let r = fig_tiers(16, 3);
+        assert_eq!(r.workloads.len(), 2);
+        assert_eq!(r.workloads[0].name, "predator_prey_skewed", "gate anchor leads");
+        for w in &r.workloads {
+            assert!(w.outputs_match, "threaded must match fused: {w:?}");
+            assert!(w.reference_match, "threaded must match the oracle: {w:?}");
+            assert!(w.fused_median_s > 0.0 && w.threaded_median_s > 0.0);
+        }
+        assert!(r.adaptive_match, "adaptive must match the oracle: {r:?}");
+        assert!(r.tier_promotions > 0, "the probe must cross its threshold: {r:?}");
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"speedup_median\":"));
+        assert!(json.contains("\"reference_match\":true"));
+        assert!(json.contains("\"adaptive_match\":true"));
+        let text = r.render();
+        assert!(text.contains("threaded"));
+        assert!(text.contains("adaptive tier-up"));
     }
 
     #[test]

@@ -180,6 +180,46 @@ fn fused_gate_fails_on_slow_or_divergent_paths() {
 }
 
 #[test]
+fn tiers_gate_fails_on_slow_divergent_or_unpromoted_paths() {
+    let dir = tmpdir("tiersgate");
+    let tiers = |speedup: f64, identical: bool, adaptive: bool, promotions: u64| {
+        format!(
+            r#"{{"figures":[{{"figure":"tiers","full_scale":false,"elapsed_s":1.0,
+               "data":{{"workloads":[
+                 {{"name":"predator_prey_skewed","speedup_median":{speedup},"outputs_match":{identical},"reference_match":true}},
+                 {{"name":"predator_prey_2","speedup_median":1.1,"outputs_match":true,"reference_match":true}}],
+                 "adaptive_match":{adaptive},"tier_promotions":{promotions}}}}}]}}"#
+        )
+    };
+    let base = write(&dir, "base.json", &tiers(1.2, true, true, 3));
+    let fast = write(&dir, "fast.json", &tiers(1.15, true, true, 3));
+    let slow = write(&dir, "slow.json", &tiers(1.01, true, true, 3));
+    let split = write(&dir, "split.json", &tiers(1.2, false, true, 3));
+    let drift = write(&dir, "drift.json", &tiers(1.2, true, false, 3));
+    let cold = write(&dir, "cold.json", &tiers(1.2, true, true, 0));
+    let (code, text) = diff(&[&base, &fast]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("threaded speedup gate"), "{text}");
+    let (code, text) = diff(&[&base, &slow]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("below required"), "{text}");
+    let (code, text) = diff(&[&base, &split]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("diverged from the fused path"), "{text}");
+    let (code, text) = diff(&[&base, &drift]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("adaptive tier-up outputs diverged"), "{text}");
+    let (code, text) = diff(&[&base, &cold]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("no promotions"), "{text}");
+    // 0 disables the speedup gate (identity still enforced).
+    let (code, text) = diff(&[&base, &slow, "--min-threaded-speedup", "0"]);
+    assert_eq!(code, 0, "{text}");
+    let (code, _) = diff(&[&base, &split, "--min-threaded-speedup", "0"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
 fn scale_mismatch_is_refused() {
     let dir = tmpdir("scale");
     let base = write(&dir, "base.json", &figure_snapshot(1.0));

@@ -65,12 +65,15 @@ pub struct CompileConfig {
     /// that executes up to this many trials per engine entry; drivers chunk
     /// larger batch requests. `0` disables the batched entry point.
     pub batch_capacity: usize,
-    /// Whether the execution engine fuses the decoded instruction stream
-    /// into superinstructions at load time (`distill_exec::fuse`). On by
-    /// default; turn off for A/B measurement of the unfused predecoded
-    /// interpreter. Codegen itself ignores the knob — it rides along so
-    /// drivers construct their engines accordingly.
-    pub fuse: bool,
+    /// Which execution tier (or tier-up policy) the engine runs the
+    /// compiled module on — see [`distill_exec::TierPolicy`]. Defaults to
+    /// the fused interpreter; `Fixed(Tier::Decoded)` is the A/B baseline of
+    /// `figures --fused`, `Fixed(Tier::Threaded)` the direct-threaded
+    /// dispatcher, `Adaptive` profile-guided tier-up. Codegen itself ignores
+    /// the knob — it rides along so drivers construct their engines
+    /// accordingly (the `DISTILL_TIER` environment override still wins at
+    /// engine construction).
+    pub tier: distill_exec::TierPolicy,
 }
 
 impl Default for CompileConfig {
@@ -80,7 +83,7 @@ impl Default for CompileConfig {
             opt_level: OptLevel::O2,
             seed: 0xD15_711,
             batch_capacity: 64,
-            fuse: true,
+            tier: distill_exec::TierPolicy::default(),
         }
     }
 }

@@ -34,7 +34,7 @@ impl Condition {
     pub fn is_ready(&self, pass: u64, own_calls: u64, all_calls: &[u64]) -> bool {
         match self {
             Condition::Always => true,
-            Condition::EveryNPasses(n) => *n != 0 && pass % n == 0,
+            Condition::EveryNPasses(n) => *n != 0 && pass.is_multiple_of(*n),
             Condition::AfterNCalls { node, n } => {
                 all_calls.get(*node).copied().unwrap_or(0) >= *n
             }

@@ -254,13 +254,14 @@ pub(crate) struct CompiledDriver {
 
 impl CompiledDriver {
     pub(crate) fn new(compiled: CompiledModel, model: Composition) -> CompiledDriver {
-        // The session's fusion knob decides which execution form the engine
-        // lowers to; the environment default (`DISTILL_FUSE`) still applies
-        // when the knob is left on, so either side can force the A/B.
-        let fuse = compiled.config.fuse && distill_exec::ExecConfig::default().fuse;
+        // The session's tier policy decides which execution form the engine
+        // runs; a `DISTILL_TIER` (or deprecated `DISTILL_FUSE`) environment
+        // request wins over it, so a whole-process A/B can be forced without
+        // touching call sites.
+        let policy = distill_exec::TierPolicy::from_env().unwrap_or(compiled.config.tier);
         let engine = Engine::with_config(
             compiled.module.clone(),
-            distill_exec::ExecConfig { fuse },
+            distill_exec::ExecConfig { policy },
         );
         CompiledDriver {
             compiled,
@@ -462,7 +463,8 @@ impl CompiledDriver {
 
         // Stitch chunks back into trial order; every chunk arrives exactly
         // once (the queue partitions the index space).
-        let mut slots: Vec<Option<(Vec<Vec<f64>>, Vec<u64>)>> = (0..n_chunks).map(|_| None).collect();
+        type ChunkOutput = (Vec<Vec<f64>>, Vec<u64>);
+        let mut slots: Vec<Option<ChunkOutput>> = (0..n_chunks).map(|_| None).collect();
         let mut steals = 0u64;
         let mut worker_stats = distill_exec::EngineStats::default();
         for r in worker_results {
@@ -591,7 +593,7 @@ impl CompiledDriver {
                     let ready = match &self.model.mechanisms[node].condition {
                         Condition::Always => true,
                         Condition::Never => false,
-                        Condition::EveryNPasses(n) => *n != 0 && pass % n == 0,
+                        Condition::EveryNPasses(n) => *n != 0 && pass.is_multiple_of(*n),
                         Condition::AfterNCalls { node: other, n } => calls[*other] >= *n,
                         Condition::AtMostNCalls(n) => calls[node] < *n,
                     };

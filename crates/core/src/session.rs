@@ -11,6 +11,7 @@ use distill_pyvm::ExecMode;
 
 /// Where a [`Session`] executes its model.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum Target {
     /// The dynamic baseline interpreter in one of the §5 environments; no
     /// compilation happens.
@@ -19,6 +20,7 @@ pub enum Target {
     /// artifacts run the compiled trial function — batched through
     /// `trials_batch` when the spec asks for `batch > 1`; per-node artifacts
     /// keep the scheduler outside the compiled code.
+    #[default]
     SingleCore,
     /// Compiled execution with the controller's grid search split across OS
     /// threads (Fig. 5c, `mCPU`). The scheduler is driven per node so the
@@ -34,11 +36,6 @@ pub enum Target {
     Gpu(GpuConfig),
 }
 
-impl Default for Target {
-    fn default() -> Self {
-        Target::SingleCore
-    }
-}
 
 /// Builder tying a model to compile-time knobs and an execution target.
 ///
@@ -110,19 +107,29 @@ impl Session {
         self
     }
 
-    /// Enable or disable superinstruction fusion in the execution engine
-    /// (on by default). With fusion off the runner executes the plain
-    /// predecoded form — the PR 3 interpreter — which is the A/B baseline
-    /// `figures --fused` measures against.
+    /// Select the execution tier (or tier-up policy) the runner's engine
+    /// uses — see [`distill_exec::TierPolicy`]. Defaults to the fused
+    /// interpreter.
     ///
-    /// The `DISTILL_FUSE` environment kill switch wins over an explicit
-    /// `fuse(true)`: when the environment disables fusion, every runner of
-    /// the process runs unfused regardless of this knob, so a whole A/B
-    /// sweep can be forced without touching call sites.
+    /// The `DISTILL_TIER` environment override (and its deprecated
+    /// `DISTILL_FUSE` alias) wins over an explicit policy: when the
+    /// environment requests a tier, every runner of the process uses it
+    /// regardless of this knob, so a whole A/B sweep can be forced without
+    /// touching call sites.
     #[must_use]
-    pub fn fuse(mut self, fuse: bool) -> Session {
-        self.config.fuse = fuse;
+    pub fn tier(mut self, policy: distill_exec::TierPolicy) -> Session {
+        self.config.tier = policy;
         self
+    }
+
+    /// Legacy spelling of the PR 5 fusion knob: `fuse(false)` selects the
+    /// plain predecoded tier, `fuse(true)` the fused tier. Prefer
+    /// [`Session::tier`], which also reaches the direct-threaded and
+    /// adaptive policies.
+    #[must_use]
+    pub fn fuse(self, fuse: bool) -> Session {
+        use distill_exec::{Tier, TierPolicy};
+        self.tier(TierPolicy::Fixed(if fuse { Tier::Fused } else { Tier::Decoded }))
     }
 
     /// Replace the whole compile configuration at once.

@@ -295,6 +295,31 @@ pub enum DecodedTerm {
         /// Successor when false.
         else_blk: u32,
     },
+    /// An immediate-specialized binop chained into the fused
+    /// compare-and-branch that consumes it (emitted only by [`crate::fuse`]):
+    /// `dst = src <op> imm; branch on (cmp dst, other)` in one dispatch. The
+    /// binop's destination register is still written, because phis and later
+    /// blocks may read it.
+    BinRICmpBr {
+        /// The binop's operator.
+        op: BinOp,
+        /// The binop's register operand.
+        src: u32,
+        /// The binop's inline immediate.
+        imm: Value,
+        /// The binop's destination register (written before the compare).
+        dst: u32,
+        /// The comparison predicate.
+        pred: CmpPred,
+        /// The compare operand that is *not* the binop result.
+        other: Operand,
+        /// Whether the binop result is the compare's left operand.
+        bin_is_lhs: bool,
+        /// Successor when true.
+        then_blk: u32,
+        /// Successor when false.
+        else_blk: u32,
+    },
 }
 
 /// A decoded basic block.

@@ -5,37 +5,39 @@
 //! region that grows past the globals and is truncated when the allocating
 //! frame returns. Addresses are slot indices carried in [`Value::Ptr`].
 //!
-//! # Two execution paths
+//! # Execution tiers
 //!
-//! The hot path ([`Engine::call`]) runs the **predecoded** form built once at
-//! construction (see [`crate::decode`]): flat per-block instruction arrays
-//! with operands pre-resolved to a register index or an inlined immediate,
-//! phi nodes split into per-edge copy tables, terminators stored by value.
-//! The loop never touches the IR, never clones, and never string-formats on
-//! the happy path; register frames come from a reusable frame pool instead
-//! of a fresh allocation per call.
+//! The engine prepares every module at four specialization levels and picks
+//! one per call according to its [`TierPolicy`] (see [`crate::backend`] for
+//! the tier architecture): the retained IR-walking reference oracle, the
+//! predecoded interpreter (see [`crate::decode`]), the fused
+//! superinstruction stream (see [`crate::fuse`]), and direct-threaded
+//! dispatch over the fused stream. `Fixed(tier)` pins every call;
+//! `Adaptive { hot_call_threshold }` starts functions at the decoded tier
+//! and promotes hot ones to the threaded tier, counting promotions in
+//! [`EngineStats::tier_promotions`]. The per-tier entry points
+//! ([`Engine::call_reference`], [`Engine::call_decoded`],
+//! [`Engine::call_fused`], [`Engine::call_threaded`]) bypass the policy for
+//! A/B measurement and differential testing.
 //!
-//! The slow path ([`Engine::call_reference`]) is the original IR-walking
-//! interpreter, retained verbatim as the behavioural reference: the
-//! differential test suite pits every model family against it and the
-//! `figures --interp` report measures the predecode speedup against it.
+//! The mutable state a call runs against — memory image, statistics, the
+//! register-frame pool — lives in [`EngineCtx`], which every tier borrows
+//! while its immutable prepared code is shared behind `Arc`.
 //!
 //! The engine is `Clone`: the multicore backend gives every worker thread
 //! its own copy, which is the "thread-local copy of the read-write
 //! parameter structure and node outputs" strategy of §3.6. Clones share the
-//! immutable module and decoded code behind `Arc` — only the mutable memory
-//! image is copied, so spawning a worker is cheap.
+//! immutable module and every tier's prepared code behind `Arc` — only the
+//! mutable memory image is copied, so spawning a worker is cheap — and they
+//! inherit the template's adaptive promotion state, so a worker starts hot
+//! functions on the tier the template already promoted them to.
 
-use crate::decode::{
-    decode_module, DecodedFunction, DecodedInst, DecodedTerm, Operand, PhiEdge,
+use crate::backend::{
+    DecodedTier, ExecTier, FusedTier, ReferenceTier, ThreadedTier, Tier, TierCodeStats, TierPolicy,
 };
+use crate::decode::decode_module;
 use crate::fuse::{fuse_module, FuseSummary};
-use distill_ir::inst::GepIndex;
-use distill_ir::{
-    BinOp, CastKind, CmpPred, Constant, FuncId, Function, GlobalId, Inst, Intrinsic, Module,
-    Terminator, Ty, UnOp, ValueId, ValueKind,
-};
-use distill_pyvm::SplitMix64;
+use distill_ir::{Constant, FuncId, GlobalId, Module};
 use std::fmt;
 use std::sync::Arc;
 
@@ -131,7 +133,7 @@ impl std::error::Error for ExecError {}
 
 /// One memory slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Slot {
+pub(crate) enum Slot {
     F64(f64),
     I64(i64),
     Bool(bool),
@@ -167,6 +169,10 @@ pub struct EngineStats {
     /// fused and decoded paths shows how much the liveness compaction in
     /// [`crate::fuse`] shrank the pooled frames.
     pub frame_slots: u64,
+    /// Functions promoted from the decoded to the threaded tier by the
+    /// adaptive policy (see [`TierPolicy::Adaptive`]). Zero under any fixed
+    /// policy.
+    pub tier_promotions: u64,
 }
 
 impl EngineStats {
@@ -182,105 +188,184 @@ impl EngineStats {
         self.steals += other.steals;
         self.fused_ops += other.fused_ops;
         self.frame_slots += other.frame_slots;
+        self.tier_promotions += other.tier_promotions;
     }
 }
 
 /// A call frame: one register per SSA value of the function.
-type Frame = Vec<Option<Value>>;
+pub(crate) type Frame = Vec<Option<Value>>;
 
 /// Construction-time knobs of the engine's execution pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
-    /// Run the fusion pass ([`crate::fuse`]) at construction and execute the
-    /// fused form from [`Engine::call`]. When `false`, `call` runs the plain
-    /// predecoded form — the same path [`Engine::call_decoded`] always runs.
-    pub fuse: bool,
+    /// Which tier [`Engine::call`] dispatches to (see [`TierPolicy`]).
+    pub policy: TierPolicy,
 }
 
 impl ExecConfig {
-    /// Interpret an environment-variable value for the fusion knob:
-    /// `0`/`off`/`false`/`no` (any casing) disable it, anything else
-    /// (including the variable being unset) leaves fusion on.
-    fn fuse_from_env_value(value: Option<&str>) -> bool {
-        match value {
-            Some(v) => !matches!(
-                v.to_ascii_lowercase().as_str(),
-                "0" | "off" | "false" | "no"
-            ),
-            None => true,
+    /// Pin every call to one tier.
+    pub fn fixed(tier: Tier) -> ExecConfig {
+        ExecConfig {
+            policy: TierPolicy::Fixed(tier),
         }
     }
 }
 
 impl Default for ExecConfig {
-    /// Fusion defaults to on; the `DISTILL_FUSE` environment variable
-    /// (`0`/`off`/`false`) turns it off for A/B measurement without touching
-    /// any call site.
+    /// The `DISTILL_TIER` environment override when set (or the deprecated
+    /// `DISTILL_FUSE` alias), otherwise the fused interpreter — so any tier
+    /// can be A/B-measured without touching a call site.
     fn default() -> ExecConfig {
-        let env = std::env::var("DISTILL_FUSE").ok();
         ExecConfig {
-            fuse: ExecConfig::fuse_from_env_value(env.as_deref()),
+            policy: TierPolicy::from_env().unwrap_or_default(),
         }
     }
 }
 
-/// The execution engine: a module plus its materialized memory.
+/// The mutable state a call executes against: the flat memory image, the
+/// statistics counters, and the register-frame pool. Every [`ExecTier`]
+/// borrows this exclusively for the duration of a call while its prepared
+/// code stays shared and immutable.
 #[derive(Debug)]
-pub struct Engine {
-    module: Arc<Module>,
-    decoded: Arc<Vec<DecodedFunction>>,
-    /// The fused form `call` executes; `None` when fusion is disabled.
-    fused: Arc<Vec<DecodedFunction>>,
-    fuse_enabled: bool,
-    fuse_summary: FuseSummary,
-    memory: Vec<Slot>,
-    global_base: Vec<usize>,
-    stack_base: usize,
-    stats: EngineStats,
-    frame_pool: Vec<Frame>,
-    phi_scratch: Vec<Value>,
-    /// Maximum instructions per top-level `call` (default: effectively
-    /// unlimited). Tests lower it to catch runaway loops.
-    pub fuel_limit: u64,
-}
-
-impl Clone for Engine {
-    /// Clone the mutable memory image; the module and the predecoded/fused
-    /// code are shared (immutable after construction), so worker threads can
-    /// be spawned without re-lowering or copying any code.
-    fn clone(&self) -> Engine {
-        Engine {
-            module: Arc::clone(&self.module),
-            decoded: Arc::clone(&self.decoded),
-            fused: Arc::clone(&self.fused),
-            fuse_enabled: self.fuse_enabled,
-            fuse_summary: self.fuse_summary,
-            memory: self.memory.clone(),
-            global_base: self.global_base.clone(),
-            stack_base: self.stack_base,
-            stats: self.stats,
-            frame_pool: Vec::new(),
-            phi_scratch: Vec::new(),
-            fuel_limit: self.fuel_limit,
-        }
-    }
+pub struct EngineCtx {
+    pub(crate) memory: Vec<Slot>,
+    pub(crate) global_base: Vec<usize>,
+    /// First slot past the globals; the stack region starts here.
+    pub(crate) stack_base: usize,
+    pub(crate) stats: EngineStats,
+    pub(crate) frame_pool: Vec<Frame>,
+    pub(crate) phi_scratch: Vec<Value>,
 }
 
 /// Cap on pooled frames kept for reuse; deeper recursion falls back to
 /// fresh allocations rather than hoarding memory.
 const FRAME_POOL_CAP: usize = 64;
 
+impl EngineCtx {
+    pub(crate) fn acquire_frame(&mut self, num_values: usize) -> Frame {
+        self.stats.frame_slots += num_values as u64;
+        match self.frame_pool.pop() {
+            Some(mut frame) => {
+                self.stats.frame_pool_hits += 1;
+                frame.clear();
+                frame.resize(num_values, None);
+                frame
+            }
+            None => vec![None; num_values],
+        }
+    }
+
+    pub(crate) fn release_frame(&mut self, frame: Frame) {
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            self.frame_pool.push(frame);
+        }
+    }
+
+    /// Pop a returning frame's allocas (never below the global region).
+    pub(crate) fn truncate_stack(&mut self, frame_base: usize) {
+        self.memory.truncate(frame_base.max(self.stack_base));
+    }
+
+    /// Push `slots` uninitialized stack slots; returns their base address.
+    pub(crate) fn alloca(&mut self, slots: usize) -> usize {
+        let addr = self.memory.len();
+        for _ in 0..slots {
+            self.memory.push(Slot::Uninit);
+        }
+        addr
+    }
+
+    pub(crate) fn load_slot(&self, addr: usize) -> Result<Value, ExecError> {
+        match self.memory.get(addr) {
+            Some(Slot::F64(v)) => Ok(Value::F64(*v)),
+            Some(Slot::I64(v)) => Ok(Value::I64(*v)),
+            Some(Slot::Bool(b)) => Ok(Value::Bool(*b)),
+            Some(Slot::Uninit) => Err(ExecError::Undef(format!("slot {addr}"))),
+            None => Err(ExecError::OutOfBounds {
+                addr,
+                size: self.memory.len(),
+            }),
+        }
+    }
+
+    pub(crate) fn store_slot(&mut self, addr: usize, value: Value) -> Result<(), ExecError> {
+        let size = self.memory.len();
+        let slot = self
+            .memory
+            .get_mut(addr)
+            .ok_or(ExecError::OutOfBounds { addr, size })?;
+        *slot = match value {
+            Value::F64(v) => Slot::F64(v),
+            Value::I64(v) => Slot::I64(v),
+            Value::Bool(b) => Slot::Bool(b),
+            Value::Ptr(p) => Slot::I64(p as i64),
+            Value::Unit => return Err(ExecError::Type("storing unit value".into())),
+        };
+        Ok(())
+    }
+}
+
+/// The execution engine: a module prepared at every tier plus its
+/// materialized memory.
+#[derive(Debug)]
+pub struct Engine {
+    module: Arc<Module>,
+    reference: ReferenceTier,
+    pub(crate) decoded: DecodedTier,
+    pub(crate) fused: FusedTier,
+    pub(crate) threaded: ThreadedTier,
+    policy: TierPolicy,
+    fuse_enabled: bool,
+    /// Per-function call counts driving adaptive promotion.
+    hot_calls: Vec<u64>,
+    /// Per-function promotion state (`true` = runs on the threaded tier).
+    promoted: Vec<bool>,
+    pub(crate) ctx: EngineCtx,
+    /// Maximum instructions per top-level `call` (default: effectively
+    /// unlimited). Tests lower it to catch runaway loops.
+    pub fuel_limit: u64,
+}
+
+impl Clone for Engine {
+    /// Clone the mutable memory image; the module and every tier's prepared
+    /// code are shared (immutable after construction), so worker threads can
+    /// be spawned without re-lowering or copying any code. The adaptive
+    /// promotion state is inherited, so clones start hot functions on the
+    /// tier the template already promoted them to.
+    fn clone(&self) -> Engine {
+        Engine {
+            module: Arc::clone(&self.module),
+            reference: self.reference.clone(),
+            decoded: self.decoded.clone(),
+            fused: self.fused.clone(),
+            threaded: self.threaded.clone(),
+            policy: self.policy,
+            fuse_enabled: self.fuse_enabled,
+            hot_calls: self.hot_calls.clone(),
+            promoted: self.promoted.clone(),
+            ctx: EngineCtx {
+                memory: self.ctx.memory.clone(),
+                global_base: self.ctx.global_base.clone(),
+                stack_base: self.ctx.stack_base,
+                stats: self.ctx.stats,
+                frame_pool: Vec::new(),
+                phi_scratch: Vec::new(),
+            },
+            fuel_limit: self.fuel_limit,
+        }
+    }
+}
+
 impl Engine {
-    /// Materialize an engine for a module with the default
-    /// [`ExecConfig`] (fusion on unless `DISTILL_FUSE=0`): lay out the
-    /// globals and lower every function to its predecoded — and, by
-    /// default, fused — execution form (once; the code is shared by every
-    /// [`Clone`] of the engine).
+    /// Materialize an engine for a module with the default [`ExecConfig`]
+    /// (the fused tier unless `DISTILL_TIER` requests otherwise): lay out
+    /// the globals and lower every function to each tier's prepared form
+    /// (once; the code is shared by every [`Clone`] of the engine).
     pub fn new(module: Module) -> Engine {
         Engine::with_config(module, ExecConfig::default())
     }
 
-    /// Materialize an engine with explicit execution knobs.
+    /// Materialize an engine with an explicit tier policy.
     pub fn with_config(module: Module, config: ExecConfig) -> Engine {
         let mut memory = Vec::new();
         let mut global_base = Vec::with_capacity(module.globals.len());
@@ -297,26 +382,47 @@ impl Engine {
             }
         }
         let stack_base = memory.len();
-        let decoded = Arc::new(decode_module(&module, &global_base));
-        let (fused, fuse_summary) = if config.fuse {
-            let (fused, summary) = fuse_module(&decoded);
+        // Build the tier pipeline once, sharing intermediates: decode, then
+        // fuse (unless the policy pins a pre-fusion tier), then thread the
+        // fused stream. Threading is O(static ops), so it is always built
+        // eagerly and per-tier entry points work under any policy.
+        let decoded_code = Arc::new(decode_module(&module, &global_base));
+        let fuse_enabled = config.policy.wants_fusion();
+        let (fused_code, fuse_summary) = if fuse_enabled {
+            let (fused, summary) = fuse_module(&decoded_code);
             (Arc::new(fused), summary)
         } else {
-            // `call` aliases the decoded form; nothing was fused.
-            (Arc::clone(&decoded), FuseSummary::default())
+            // The fused tier aliases the decoded form; nothing was fused.
+            (Arc::clone(&decoded_code), FuseSummary::default())
         };
+        let threaded_code = Arc::new(crate::backend::threaded::thread_module(&fused_code));
+        let num_funcs = module.functions.len();
+        let module = Arc::new(module);
         Engine {
-            module: Arc::new(module),
-            decoded,
-            fused,
-            fuse_enabled: config.fuse,
-            fuse_summary,
-            memory,
-            global_base,
-            stack_base,
-            stats: EngineStats::default(),
-            frame_pool: Vec::new(),
-            phi_scratch: Vec::new(),
+            reference: ReferenceTier {
+                module: Arc::clone(&module),
+            },
+            decoded: DecodedTier { code: decoded_code },
+            fused: FusedTier {
+                code: fused_code,
+                summary: fuse_summary,
+            },
+            threaded: ThreadedTier {
+                code: threaded_code,
+            },
+            module,
+            policy: config.policy,
+            fuse_enabled,
+            hot_calls: vec![0; num_funcs],
+            promoted: vec![false; num_funcs],
+            ctx: EngineCtx {
+                memory,
+                global_base,
+                stack_base,
+                stats: EngineStats::default(),
+                frame_pool: Vec::new(),
+                phi_scratch: Vec::new(),
+            },
             fuel_limit: u64::MAX,
         }
     }
@@ -326,7 +432,13 @@ impl Engine {
         &self.module
     }
 
-    /// Whether [`Engine::call`] runs the fused form.
+    /// The tier policy [`Engine::call`] dispatches under.
+    pub fn tier_policy(&self) -> TierPolicy {
+        self.policy
+    }
+
+    /// Whether the fusion pass ran at construction (true for every policy
+    /// that can execute the fused stream).
     pub fn fuse_enabled(&self) -> bool {
         self.fuse_enabled
     }
@@ -334,17 +446,27 @@ impl Engine {
     /// Static accounting of the construction-time fusion pass (zeroed when
     /// fusion is disabled).
     pub fn fuse_summary(&self) -> FuseSummary {
-        self.fuse_summary
+        self.fused.summary
+    }
+
+    /// Static shape of a tier's prepared code.
+    pub fn tier_code_stats(&self, tier: Tier) -> TierCodeStats {
+        match tier {
+            Tier::Reference => self.reference.code_stats(),
+            Tier::Decoded => self.decoded.code_stats(),
+            Tier::Fused => self.fused.code_stats(),
+            Tier::Threaded => self.threaded.code_stats(),
+        }
     }
 
     /// Execution statistics so far.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.ctx.stats
     }
 
     /// Reset statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+        self.ctx.stats = EngineStats::default();
     }
 
     /// Fold a worker engine's counters into this engine's statistics.
@@ -352,7 +474,7 @@ impl Engine {
     /// with their thread; absorbing them keeps the template engine's
     /// [`EngineStats`] a faithful account of all work done on its behalf.
     pub fn absorb_stats(&mut self, other: &EngineStats) {
-        self.stats.add(other);
+        self.ctx.stats.add(other);
     }
 
     /// The counters accumulated since `base` (a snapshot of this engine's
@@ -360,7 +482,7 @@ impl Engine {
     /// workers snapshot at spawn, run, and hand the delta back — keeping the
     /// field-by-field bookkeeping in one place next to the fold.
     pub fn stats_since(&self, base: &EngineStats) -> EngineStats {
-        let s = &self.stats;
+        let s = &self.ctx.stats;
         EngineStats {
             instructions: s.instructions - base.instructions,
             calls: s.calls - base.calls,
@@ -370,6 +492,7 @@ impl Engine {
             steals: s.steals - base.steals,
             fused_ops: s.fused_ops - base.fused_ops,
             frame_slots: s.frame_slots - base.frame_slots,
+            tier_promotions: s.tier_promotions - base.tier_promotions,
         }
     }
 
@@ -378,19 +501,20 @@ impl Engine {
     /// owns the template engine records the scheduler's aggregate here
     /// after each parallel grid search.
     pub fn record_steals(&mut self, n: u64) {
-        self.stats.steals += n;
+        self.ctx.stats.steals += n;
     }
 
     /// Base slot address of a global.
     pub fn global_addr(&self, id: GlobalId) -> usize {
-        self.global_base[id.index()]
+        self.ctx.global_base[id.index()]
     }
 
     /// The full memory image as `(tag, bits)` pairs (tags: 0 = f64, 1 = i64,
     /// 2 = bool, 3 = uninitialized). Intended for differential tests that
     /// assert two engines reached bit-identical states.
     pub fn memory_bits(&self) -> Vec<(u8, u64)> {
-        self.memory
+        self.ctx
+            .memory
             .iter()
             .map(|s| match s {
                 Slot::F64(v) => (0u8, v.to_bits()),
@@ -429,12 +553,12 @@ impl Engine {
     /// violation, not a runtime condition).
     pub fn read_global_f64_prefix(&self, name: &str, len: usize) -> Result<Vec<f64>, ExecError> {
         let id = self.global_id(name)?;
-        let base = self.global_base[id.index()];
+        let base = self.ctx.global_base[id.index()];
         assert!(
             len <= self.module.global(id).ty.slot_count(),
             "prefix of {len} slots exceeds global {name}"
         );
-        Ok(self.memory[base..base + len]
+        Ok(self.ctx.memory[base..base + len]
             .iter()
             .map(|s| match s {
                 Slot::F64(v) => *v,
@@ -461,9 +585,9 @@ impl Engine {
                 size,
             });
         }
-        let base = self.global_base[id.index()];
+        let base = self.ctx.global_base[id.index()];
         for (i, v) in values.iter().enumerate() {
-            self.memory[base + i] = Slot::F64(*v);
+            self.ctx.memory[base + i] = Slot::F64(*v);
         }
         Ok(())
     }
@@ -479,8 +603,8 @@ impl Engine {
         if index >= size {
             return Err(ExecError::OutOfBounds { addr: index, size });
         }
-        let base = self.global_base[id.index()];
-        self.memory[base + index] = Slot::I64(value);
+        let base = self.ctx.global_base[id.index()];
+        self.ctx.memory[base + index] = Slot::I64(value);
         Ok(())
     }
 
@@ -496,8 +620,8 @@ impl Engine {
         if index >= size {
             return Err(ExecError::OutOfBounds { addr: index, size });
         }
-        let base = self.global_base[id.index()];
-        match self.memory[base + index] {
+        let base = self.ctx.global_base[id.index()];
+        match self.ctx.memory[base + index] {
             Slot::I64(v) => Ok(v),
             Slot::F64(v) => Ok(v as i64),
             Slot::Bool(b) => Ok(b as i64),
@@ -506,460 +630,62 @@ impl Engine {
     }
 
     // -----------------------------------------------------------------------
-    // Predecoded hot path
+    // Tier dispatch
     // -----------------------------------------------------------------------
 
-    /// Call a function by id with the given arguments, running the fused
-    /// form (or the plain predecoded form when fusion is disabled — see
-    /// [`ExecConfig`]).
+    /// Call a function by id with the given arguments, on the tier the
+    /// engine's [`TierPolicy`] selects. Under a fixed policy every call runs
+    /// that tier; under the adaptive policy the function's call count is
+    /// bumped first and crossing the threshold promotes it (at the call
+    /// boundary only, so a promotion never splits one run's statistics
+    /// across tiers).
     ///
     /// # Errors
     /// Returns [`ExecError`] on type errors, memory violations, division by
     /// zero, depth or fuel exhaustion.
     pub fn call(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
-        // The code is behind `Arc` so the loop can borrow it while
-        // `&mut self` mutates memory and statistics; one refcount bump per
-        // top-level call.
-        let code = Arc::clone(&self.fused);
-        let mut fuel = self.fuel_limit;
-        self.call_in(&code, func.index(), args, &mut fuel, 0)
+        match self.policy {
+            TierPolicy::Fixed(tier) => self.call_tier(tier, func, args),
+            TierPolicy::Adaptive { hot_call_threshold } => {
+                let idx = func.index();
+                if !self.promoted[idx] {
+                    self.hot_calls[idx] += 1;
+                    if self.hot_calls[idx] >= hot_call_threshold {
+                        self.promoted[idx] = true;
+                        self.ctx.stats.tier_promotions += 1;
+                    }
+                }
+                let tier = if self.promoted[idx] {
+                    Tier::Threaded
+                } else {
+                    Tier::Decoded
+                };
+                self.call_tier(tier, func, args)
+            }
+        }
     }
 
-    /// Call a function through the **unfused** predecoded form — the PR 3
-    /// interpreter core, retained for A/B measurement (`figures --fused`)
-    /// and differential testing against the fused fast path. Semantically
-    /// identical to [`Engine::call`] for verifier-clean IR.
+    /// Call a function on an explicit tier, bypassing the policy. The
+    /// per-tier convenience wrappers below delegate here.
     ///
     /// # Errors
     /// Same surface as [`Engine::call`].
-    pub fn call_decoded(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
-        let code = Arc::clone(&self.decoded);
-        let mut fuel = self.fuel_limit;
-        self.call_in(&code, func.index(), args, &mut fuel, 0)
-    }
-
-    fn call_in(
+    pub fn call_tier(
         &mut self,
-        decoded: &[DecodedFunction],
-        func: usize,
+        tier: Tier,
+        func: FuncId,
         args: &[Value],
-        fuel: &mut u64,
-        depth: usize,
     ) -> Result<Value, ExecError> {
-        self.stats.calls += 1;
-        if depth > 256 {
-            return Err(ExecError::DepthExceeded);
-        }
-        let df = &decoded[func];
-        let Some(entry) = df.entry else {
-            return Err(ExecError::MissingBody(df.name.clone()));
-        };
-        let frame_base = self.memory.len();
-        let mut regs = self.acquire_frame(df.num_values as usize);
-        for (i, a) in args.iter().enumerate() {
-            regs[i] = Some(*a);
-        }
-        let result = self.exec_in(decoded, df, entry, &mut regs, fuel, depth);
-        self.release_frame(regs);
-        // Pop this frame's allocas.
-        self.memory.truncate(frame_base.max(self.stack_base));
-        result
-    }
-
-    fn acquire_frame(&mut self, num_values: usize) -> Frame {
-        self.stats.frame_slots += num_values as u64;
-        match self.frame_pool.pop() {
-            Some(mut frame) => {
-                self.stats.frame_pool_hits += 1;
-                frame.clear();
-                frame.resize(num_values, None);
-                frame
-            }
-            None => vec![None; num_values],
+        let mut fuel = self.fuel_limit;
+        // Disjoint field borrows: the tier's prepared code is immutable
+        // while the call mutates only `ctx`.
+        match tier {
+            Tier::Reference => self.reference.call(&mut self.ctx, func, args, &mut fuel),
+            Tier::Decoded => self.decoded.call(&mut self.ctx, func, args, &mut fuel),
+            Tier::Fused => self.fused.call(&mut self.ctx, func, args, &mut fuel),
+            Tier::Threaded => self.threaded.call(&mut self.ctx, func, args, &mut fuel),
         }
     }
-
-    fn release_frame(&mut self, frame: Frame) {
-        if self.frame_pool.len() < FRAME_POOL_CAP {
-            self.frame_pool.push(frame);
-        }
-    }
-
-    fn exec_in(
-        &mut self,
-        decoded: &[DecodedFunction],
-        df: &DecodedFunction,
-        entry: u32,
-        regs: &mut Frame,
-        fuel: &mut u64,
-        depth: usize,
-    ) -> Result<Value, ExecError> {
-        let mut block = entry as usize;
-        let mut prev: Option<u32> = None;
-        loop {
-            let blk = &df.blocks[block];
-            if blk.has_phis {
-                let Some(p) = prev else {
-                    return Err(ExecError::Undef(format!(
-                        "phi %{} evaluated in entry block",
-                        blk.first_phi
-                    )));
-                };
-                let (_, edge) = blk
-                    .phi_edges
-                    .iter()
-                    .find(|(pred, _)| *pred == p)
-                    .expect("phi edge decoded for every static predecessor");
-                match edge {
-                    PhiEdge::Missing { phi, pred } => {
-                        return Err(ExecError::Type(format!(
-                            "phi %{phi} has no edge from bb{pred}"
-                        )));
-                    }
-                    PhiEdge::Copies(copies) => {
-                        // Parallel copy: all sources are read against the
-                        // pre-entry register state before any destination is
-                        // written (a phi may feed another phi of the block).
-                        let mut scratch = std::mem::take(&mut self.phi_scratch);
-                        scratch.clear();
-                        let mut failed = None;
-                        for (_, src) in copies.iter() {
-                            match read_operand(src, regs) {
-                                Ok(v) => scratch.push(v),
-                                Err(e) => {
-                                    failed = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                        if failed.is_none() {
-                            for ((dst, _), v) in copies.iter().zip(scratch.iter()) {
-                                regs[*dst as usize] = Some(*v);
-                            }
-                        }
-                        self.phi_scratch = scratch;
-                        if let Some(e) = failed {
-                            return Err(e);
-                        }
-                    }
-                }
-            }
-
-            for op in blk.code.iter() {
-                if *fuel == 0 {
-                    return Err(ExecError::FuelExhausted);
-                }
-                *fuel -= 1;
-                self.stats.instructions += 1;
-                let val = self.exec_decoded_inst(decoded, &op.inst, regs, fuel, depth)?;
-                regs[op.dst as usize] = Some(val);
-            }
-
-            match &blk.term {
-                DecodedTerm::Br(next) => {
-                    prev = Some(block as u32);
-                    block = *next as usize;
-                }
-                DecodedTerm::CondBr {
-                    cond,
-                    then_blk,
-                    else_blk,
-                } => {
-                    let c = read_operand(cond, regs)?
-                        .as_bool()
-                        .ok_or_else(|| ExecError::Type("branch on non-bool".into()))?;
-                    prev = Some(block as u32);
-                    block = if c { *then_blk } else { *else_blk } as usize;
-                }
-                DecodedTerm::CmpBr {
-                    pred,
-                    lhs,
-                    rhs,
-                    then_blk,
-                    else_blk,
-                } => {
-                    // The absorbed cmp still costs one dispatch of fuel so a
-                    // compare-and-branch-only loop cannot spin past the
-                    // budget.
-                    charge_fuel(fuel)?;
-                    self.stats.instructions += 1;
-                    self.stats.fused_ops += 1;
-                    let c = match exec_cmp(*pred, read_operand(lhs, regs)?, read_operand(rhs, regs)?)? {
-                        Value::Bool(b) => b,
-                        _ => unreachable!("cmp yields bool"),
-                    };
-                    prev = Some(block as u32);
-                    block = if c { *then_blk } else { *else_blk } as usize;
-                }
-                DecodedTerm::Ret(Some(v)) => return read_operand(v, regs),
-                DecodedTerm::Ret(None) => return Ok(Value::Unit),
-                DecodedTerm::Unreachable => {
-                    return Err(ExecError::Type("reached unreachable".into()))
-                }
-                DecodedTerm::Missing => panic!("block has terminator"),
-            }
-        }
-    }
-
-    fn exec_decoded_inst(
-        &mut self,
-        decoded: &[DecodedFunction],
-        inst: &DecodedInst,
-        regs: &mut Frame,
-        fuel: &mut u64,
-        depth: usize,
-    ) -> Result<Value, ExecError> {
-        match inst {
-            DecodedInst::Bin { op, lhs, rhs } => {
-                exec_bin(*op, read_operand(lhs, regs)?, read_operand(rhs, regs)?)
-            }
-            DecodedInst::Un { op, val } => {
-                let a = read_operand(val, regs)?;
-                match op {
-                    UnOp::FNeg => Ok(Value::F64(
-                        -a.as_f64().ok_or_else(|| ExecError::Type("fneg".into()))?,
-                    )),
-                    UnOp::Not => match a {
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        Value::I64(i) => Ok(Value::I64(!i)),
-                        _ => Err(ExecError::Type("not on float".into())),
-                    },
-                }
-            }
-            DecodedInst::Cmp { pred, lhs, rhs } => {
-                exec_cmp(*pred, read_operand(lhs, regs)?, read_operand(rhs, regs)?)
-            }
-            DecodedInst::Select {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                let c = read_operand(cond, regs)?
-                    .as_bool()
-                    .ok_or_else(|| ExecError::Type("select condition".into()))?;
-                if c {
-                    read_operand(then_val, regs)
-                } else {
-                    read_operand(else_val, regs)
-                }
-            }
-            DecodedInst::Call { callee, args } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args.iter() {
-                    vals.push(read_operand(a, regs)?);
-                }
-                self.call_in(decoded, *callee as usize, &vals, fuel, depth + 1)
-            }
-            DecodedInst::MathCall { kind, args } => {
-                let mut vals = [0.0f64; 2];
-                for (i, a) in args.iter().enumerate() {
-                    vals[i] = read_operand(a, regs)?
-                        .as_f64()
-                        .ok_or_else(|| ExecError::Type("intrinsic arg".into()))?;
-                }
-                Ok(Value::F64(exec_math(*kind, &vals[..args.len()])))
-            }
-            DecodedInst::RandCall { kind, state } => {
-                let addr = match read_operand(state, regs)? {
-                    Value::Ptr(p) => p,
-                    _ => return Err(ExecError::Type("PRNG state must be a pointer".into())),
-                };
-                let state_bits = self
-                    .load_slot(addr)?
-                    .as_i64()
-                    .ok_or_else(|| ExecError::Type("PRNG state must be an integer".into()))?;
-                let mut rng = SplitMix64::new(state_bits as u64);
-                let out = match kind {
-                    Intrinsic::RandUniform => rng.uniform(),
-                    Intrinsic::RandNormal => rng.normal(),
-                    _ => unreachable!(),
-                };
-                self.store_slot(addr, Value::I64(rng.state as i64))?;
-                Ok(Value::F64(out))
-            }
-            DecodedInst::Alloca { slots } => {
-                let addr = self.memory.len();
-                for _ in 0..*slots {
-                    self.memory.push(Slot::Uninit);
-                }
-                Ok(Value::Ptr(addr))
-            }
-            DecodedInst::Load { ptr } => {
-                self.stats.loads += 1;
-                let addr = match read_operand(ptr, regs)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("load from non-pointer {other:?}")))
-                    }
-                };
-                self.load_slot(addr)
-            }
-            DecodedInst::Store { ptr, value } => {
-                self.stats.stores += 1;
-                let addr = match read_operand(ptr, regs)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("store to non-pointer {other:?}")))
-                    }
-                };
-                let v = read_operand(value, regs)?;
-                self.store_slot(addr, v)?;
-                Ok(Value::Unit)
-            }
-            DecodedInst::Gep {
-                base,
-                const_offset,
-                dyn_steps,
-            } => Ok(Value::Ptr(
-                self.gep_addr(base, *const_offset, dyn_steps, regs)?,
-            )),
-            DecodedInst::InvalidGep { base } => match read_operand(base, regs)? {
-                Value::Ptr(_) => Err(ExecError::Type("invalid gep".into())),
-                other => Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
-            },
-            DecodedInst::Cast { kind, val } => {
-                let a = read_operand(val, regs)?;
-                Ok(match kind {
-                    CastKind::SiToFp => Value::F64(
-                        a.as_i64()
-                            .ok_or_else(|| ExecError::Type("sitofp".into()))? as f64,
-                    ),
-                    CastKind::FpToSi => Value::I64(
-                        a.as_f64()
-                            .ok_or_else(|| ExecError::Type("fptosi".into()))? as i64,
-                    ),
-                    CastKind::FpTrunc | CastKind::FpExt => Value::F64(
-                        a.as_f64().ok_or_else(|| ExecError::Type("fpcast".into()))?,
-                    ),
-                    CastKind::ZExtBool => Value::I64(
-                        a.as_bool().ok_or_else(|| ExecError::Type("zext".into()))? as i64,
-                    ),
-                    CastKind::TruncBool => Value::Bool(
-                        a.as_i64().ok_or_else(|| ExecError::Type("trunc".into()))? != 0,
-                    ),
-                })
-            }
-            DecodedInst::GlobalAddr { addr } => Ok(Value::Ptr(*addr)),
-
-            // -- Fused superinstructions (emitted by `crate::fuse` only) ----
-            DecodedInst::LoadAbs { addr } => {
-                self.stats.loads += 1;
-                self.stats.fused_ops += 1;
-                self.load_slot(*addr)
-            }
-            DecodedInst::StoreAbs { addr, value } => {
-                self.stats.stores += 1;
-                self.stats.fused_ops += 1;
-                let v = read_operand(value, regs)?;
-                self.store_slot(*addr, v)?;
-                Ok(Value::Unit)
-            }
-            DecodedInst::GepLoad {
-                base,
-                const_offset,
-                dyn_steps,
-            } => {
-                // Pair superinstructions charge the absorbed dispatch's
-                // fuel (like the fused cmp+branch terminator), so fuel
-                // accounting matches the decoded path op-for-op.
-                charge_fuel(fuel)?;
-                let addr = self.gep_addr(base, *const_offset, dyn_steps, regs)?;
-                self.stats.loads += 1;
-                self.stats.fused_ops += 1;
-                self.load_slot(addr)
-            }
-            DecodedInst::GepStore {
-                base,
-                const_offset,
-                dyn_steps,
-                value,
-            } => {
-                charge_fuel(fuel)?;
-                let addr = self.gep_addr(base, *const_offset, dyn_steps, regs)?;
-                self.stats.stores += 1;
-                self.stats.fused_ops += 1;
-                let v = read_operand(value, regs)?;
-                self.store_slot(addr, v)?;
-                Ok(Value::Unit)
-            }
-            DecodedInst::BinRI { op, reg, imm } => {
-                exec_bin(*op, read_reg(regs, *reg)?, *imm)
-            }
-            DecodedInst::BinIR { op, imm, reg } => {
-                exec_bin(*op, *imm, read_reg(regs, *reg)?)
-            }
-            DecodedInst::LoadBin {
-                op,
-                ptr,
-                other,
-                load_lhs,
-            } => {
-                charge_fuel(fuel)?;
-                self.stats.loads += 1;
-                self.stats.fused_ops += 1;
-                let addr = match read_operand(ptr, regs)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("load from non-pointer {other:?}")))
-                    }
-                };
-                let loaded = self.load_slot(addr)?;
-                let o = read_operand(other, regs)?;
-                if *load_lhs {
-                    exec_bin(*op, loaded, o)
-                } else {
-                    exec_bin(*op, o, loaded)
-                }
-            }
-            DecodedInst::BinStore { op, lhs, rhs, ptr } => {
-                charge_fuel(fuel)?;
-                let v = exec_bin(*op, read_operand(lhs, regs)?, read_operand(rhs, regs)?)?;
-                self.stats.stores += 1;
-                self.stats.fused_ops += 1;
-                let addr = match read_operand(ptr, regs)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("store to non-pointer {other:?}")))
-                    }
-                };
-                self.store_slot(addr, v)?;
-                Ok(Value::Unit)
-            }
-        }
-    }
-
-    /// Resolve a folded GEP address: base pointer, constant offset, dynamic
-    /// steps. Shared by the plain and the fused GEP forms.
-    fn gep_addr(
-        &self,
-        base: &Operand,
-        const_offset: u32,
-        dyn_steps: &[(Operand, u32)],
-        regs: &Frame,
-    ) -> Result<usize, ExecError> {
-        let addr = match read_operand(base, regs)? {
-            Value::Ptr(p) => p,
-            other => return Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
-        };
-        let mut offset = const_offset as usize;
-        for (idx, stride) in dyn_steps.iter() {
-            let i = read_operand(idx, regs)?
-                .as_i64()
-                .ok_or_else(|| ExecError::Type("gep index".into()))?;
-            if i < 0 {
-                return Err(ExecError::OutOfBounds {
-                    addr,
-                    size: self.memory.len(),
-                });
-            }
-            offset += i as usize * *stride as usize;
-        }
-        Ok(addr + offset)
-    }
-
-    // -----------------------------------------------------------------------
-    // Reference slow path (the pre-predecode interpreter, retained verbatim)
-    // -----------------------------------------------------------------------
 
     /// Call a function through the retained IR-walking reference
     /// interpreter: the pre-predecode implementation that deep-clones the
@@ -971,471 +697,45 @@ impl Engine {
     /// # Errors
     /// Same surface as [`Engine::call`].
     pub fn call_reference(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
-        let mut fuel = self.fuel_limit;
-        self.call_reference_inner(func, args, &mut fuel, 0)
+        self.call_tier(Tier::Reference, func, args)
     }
 
-    fn call_reference_inner(
-        &mut self,
-        func_id: FuncId,
-        args: &[Value],
-        fuel: &mut u64,
-        depth: usize,
-    ) -> Result<Value, ExecError> {
-        self.stats.calls += 1;
-        if depth > 256 {
-            return Err(ExecError::DepthExceeded);
-        }
-        let func: Function = self.module.function(func_id).clone();
-        if func.layout.is_empty() {
-            return Err(ExecError::MissingBody(func.name.clone()));
-        }
-        let frame_base = self.memory.len();
-        let mut regs: Vec<Option<Value>> = vec![None; func.values.len()];
-        for (i, a) in args.iter().enumerate() {
-            regs[i] = Some(*a);
-        }
-
-        let mut block = func.entry_block().expect("function has entry block");
-        let mut prev_block: Option<distill_ir::BlockId> = None;
-        let result = 'outer: loop {
-            // Phi nodes are evaluated together against the incoming edge.
-            let blk = func.block(block);
-            let mut phi_updates: Vec<(ValueId, Value)> = Vec::new();
-            for &v in &blk.insts {
-                if let Some(Inst::Phi { incoming, .. }) = func.as_inst(v) {
-                    if let Some(pb) = prev_block {
-                        let Some((_, src)) = incoming.iter().find(|(b, _)| *b == pb) else {
-                            break 'outer Err(ExecError::Type(format!(
-                                "phi {v} has no edge from {pb}"
-                            )));
-                        };
-                        let val = self.operand(&func, &regs, *src)?;
-                        phi_updates.push((v, val));
-                    } else {
-                        break 'outer Err(ExecError::Undef(format!(
-                            "phi {v} evaluated in entry block"
-                        )));
-                    }
-                }
-            }
-            for (v, val) in phi_updates {
-                regs[v.index()] = Some(val);
-            }
-
-            for &v in &blk.insts {
-                let inst = func.as_inst(v).expect("scheduled value is an instruction");
-                if inst.is_phi() {
-                    continue;
-                }
-                if *fuel == 0 {
-                    break 'outer Err(ExecError::FuelExhausted);
-                }
-                *fuel -= 1;
-                self.stats.instructions += 1;
-                let val = self.exec_inst(&func, &mut regs, v, inst, fuel, depth)?;
-                regs[v.index()] = Some(val);
-            }
-
-            match blk.term.clone().expect("block has terminator") {
-                Terminator::Br(next) => {
-                    prev_block = Some(block);
-                    block = next;
-                }
-                Terminator::CondBr {
-                    cond,
-                    then_blk,
-                    else_blk,
-                } => {
-                    let c = self
-                        .operand(&func, &regs, cond)?
-                        .as_bool()
-                        .ok_or_else(|| ExecError::Type("branch on non-bool".into()))?;
-                    prev_block = Some(block);
-                    block = if c { then_blk } else { else_blk };
-                }
-                Terminator::Ret(val) => {
-                    let out = match val {
-                        Some(v) => self.operand(&func, &regs, v)?,
-                        None => Value::Unit,
-                    };
-                    break Ok(out);
-                }
-                Terminator::Unreachable => {
-                    break Err(ExecError::Type("reached unreachable".into()));
-                }
-            }
-        };
-        // Pop this frame's allocas.
-        self.memory.truncate(frame_base.max(self.stack_base));
-        result
+    /// Call a function through the **unfused** predecoded form — the PR 3
+    /// interpreter core, retained for A/B measurement (`figures --fused`)
+    /// and differential testing against the fused fast path.
+    ///
+    /// # Errors
+    /// Same surface as [`Engine::call`].
+    pub fn call_decoded(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        self.call_tier(Tier::Decoded, func, args)
     }
 
-    fn operand(
-        &self,
-        func: &Function,
-        regs: &[Option<Value>],
-        v: ValueId,
-    ) -> Result<Value, ExecError> {
-        match &func.value(v).kind {
-            ValueKind::Const(c) => Ok(match c {
-                Constant::F64(x) => Value::F64(*x),
-                Constant::F32(x) => Value::F64(*x as f64),
-                Constant::I64(x) => Value::I64(*x),
-                Constant::Bool(b) => Value::Bool(*b),
-                Constant::Undef => return Err(ExecError::Undef(format!("{v}"))),
-            }),
-            _ => regs[v.index()]
-                .ok_or_else(|| ExecError::Undef(format!("value {v} used before definition"))),
-        }
+    /// Call a function through the fused superinstruction stream (the plain
+    /// predecoded form when the policy disabled fusion at construction).
+    ///
+    /// # Errors
+    /// Same surface as [`Engine::call`].
+    pub fn call_fused(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        self.call_tier(Tier::Fused, func, args)
     }
 
-    fn load_slot(&self, addr: usize) -> Result<Value, ExecError> {
-        match self.memory.get(addr) {
-            Some(Slot::F64(v)) => Ok(Value::F64(*v)),
-            Some(Slot::I64(v)) => Ok(Value::I64(*v)),
-            Some(Slot::Bool(b)) => Ok(Value::Bool(*b)),
-            Some(Slot::Uninit) => Err(ExecError::Undef(format!("slot {addr}"))),
-            None => Err(ExecError::OutOfBounds {
-                addr,
-                size: self.memory.len(),
-            }),
-        }
-    }
-
-    fn store_slot(&mut self, addr: usize, value: Value) -> Result<(), ExecError> {
-        let size = self.memory.len();
-        let slot = self
-            .memory
-            .get_mut(addr)
-            .ok_or(ExecError::OutOfBounds { addr, size })?;
-        *slot = match value {
-            Value::F64(v) => Slot::F64(v),
-            Value::I64(v) => Slot::I64(v),
-            Value::Bool(b) => Slot::Bool(b),
-            Value::Ptr(p) => Slot::I64(p as i64),
-            Value::Unit => return Err(ExecError::Type("storing unit value".into())),
-        };
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_inst(
-        &mut self,
-        func: &Function,
-        regs: &mut [Option<Value>],
-        _id: ValueId,
-        inst: &Inst,
-        fuel: &mut u64,
-        depth: usize,
-    ) -> Result<Value, ExecError> {
-        let op = |engine: &Engine, regs: &[Option<Value>], v: ValueId| engine.operand(func, regs, v);
-        match inst {
-            Inst::Bin { op: o, lhs, rhs } => {
-                let a = op(self, regs, *lhs)?;
-                let b = op(self, regs, *rhs)?;
-                exec_bin(*o, a, b)
-            }
-            Inst::Un { op: o, val } => {
-                let a = op(self, regs, *val)?;
-                match o {
-                    UnOp::FNeg => Ok(Value::F64(
-                        -a.as_f64().ok_or_else(|| ExecError::Type("fneg".into()))?,
-                    )),
-                    UnOp::Not => match a {
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        Value::I64(i) => Ok(Value::I64(!i)),
-                        _ => Err(ExecError::Type("not on float".into())),
-                    },
-                }
-            }
-            Inst::Cmp { pred, lhs, rhs } => {
-                let a = op(self, regs, *lhs)?;
-                let b = op(self, regs, *rhs)?;
-                exec_cmp(*pred, a, b)
-            }
-            Inst::Select {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                let c = op(self, regs, *cond)?
-                    .as_bool()
-                    .ok_or_else(|| ExecError::Type("select condition".into()))?;
-                if c {
-                    op(self, regs, *then_val)
-                } else {
-                    op(self, regs, *else_val)
-                }
-            }
-            Inst::Call { callee, args } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(op(self, regs, *a)?);
-                }
-                self.call_reference_inner(*callee, &vals, fuel, depth + 1)
-            }
-            Inst::IntrinsicCall { kind, args } => {
-                if kind.has_side_effects() {
-                    let ptr = op(self, regs, args[0])?;
-                    let addr = match ptr {
-                        Value::Ptr(p) => p,
-                        _ => return Err(ExecError::Type("PRNG state must be a pointer".into())),
-                    };
-                    let state_bits = self
-                        .load_slot(addr)?
-                        .as_i64()
-                        .ok_or_else(|| ExecError::Type("PRNG state must be an integer".into()))?;
-                    let mut rng = SplitMix64::new(state_bits as u64);
-                    let out = match kind {
-                        Intrinsic::RandUniform => rng.uniform(),
-                        Intrinsic::RandNormal => rng.normal(),
-                        _ => unreachable!(),
-                    };
-                    self.store_slot(addr, Value::I64(rng.state as i64))?;
-                    Ok(Value::F64(out))
-                } else {
-                    let mut vals = Vec::with_capacity(args.len());
-                    for a in args {
-                        vals.push(
-                            op(self, regs, *a)?
-                                .as_f64()
-                                .ok_or_else(|| ExecError::Type("intrinsic arg".into()))?,
-                        );
-                    }
-                    Ok(Value::F64(exec_math(*kind, &vals)))
-                }
-            }
-            Inst::Alloca { ty } => {
-                let addr = self.memory.len();
-                for _ in 0..ty.slot_count() {
-                    self.memory.push(Slot::Uninit);
-                }
-                Ok(Value::Ptr(addr))
-            }
-            Inst::Load { ptr } => {
-                self.stats.loads += 1;
-                let addr = match op(self, regs, *ptr)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("load from non-pointer {other:?}")))
-                    }
-                };
-                self.load_slot(addr)
-            }
-            Inst::Store { ptr, value } => {
-                self.stats.stores += 1;
-                let addr = match op(self, regs, *ptr)? {
-                    Value::Ptr(p) => p,
-                    other => {
-                        return Err(ExecError::Type(format!("store to non-pointer {other:?}")))
-                    }
-                };
-                let v = op(self, regs, *value)?;
-                self.store_slot(addr, v)?;
-                Ok(Value::Unit)
-            }
-            Inst::Gep { base, indices } => {
-                let addr = match op(self, regs, *base)? {
-                    Value::Ptr(p) => p,
-                    other => return Err(ExecError::Type(format!("gep on non-pointer {other:?}"))),
-                };
-                let mut ty = func.ty(*base).pointee().clone();
-                let mut offset = 0usize;
-                for idx in indices {
-                    match (&ty, idx) {
-                        (Ty::Array(elem, _), GepIndex::Const(i)) => {
-                            offset += i * elem.slot_count();
-                            ty = (**elem).clone();
-                        }
-                        (Ty::Array(elem, _), GepIndex::Dyn(v)) => {
-                            let i = op(self, regs, *v)?
-                                .as_i64()
-                                .ok_or_else(|| ExecError::Type("gep index".into()))?;
-                            if i < 0 {
-                                return Err(ExecError::OutOfBounds {
-                                    addr,
-                                    size: self.memory.len(),
-                                });
-                            }
-                            offset += i as usize * elem.slot_count();
-                            ty = (**elem).clone();
-                        }
-                        // Out-of-range field indices are the same typed
-                        // error the decoded path's poison form raises (the
-                        // one deviation from the pre-predecode code, which
-                        // panicked here).
-                        (Ty::Struct(fields), GepIndex::Const(i)) if *i < fields.len() => {
-                            offset += ty.field_offset(*i);
-                            ty = fields[*i].clone();
-                        }
-                        _ => return Err(ExecError::Type("invalid gep".into())),
-                    }
-                }
-                Ok(Value::Ptr(addr + offset))
-            }
-            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
-            Inst::Cast { kind, val, .. } => {
-                let a = op(self, regs, *val)?;
-                Ok(match kind {
-                    CastKind::SiToFp => Value::F64(
-                        a.as_i64()
-                            .ok_or_else(|| ExecError::Type("sitofp".into()))? as f64,
-                    ),
-                    CastKind::FpToSi => Value::I64(
-                        a.as_f64()
-                            .ok_or_else(|| ExecError::Type("fptosi".into()))? as i64,
-                    ),
-                    CastKind::FpTrunc | CastKind::FpExt => Value::F64(
-                        a.as_f64().ok_or_else(|| ExecError::Type("fpcast".into()))?,
-                    ),
-                    CastKind::ZExtBool => Value::I64(
-                        a.as_bool().ok_or_else(|| ExecError::Type("zext".into()))? as i64,
-                    ),
-                    CastKind::TruncBool => Value::Bool(
-                        a.as_i64().ok_or_else(|| ExecError::Type("trunc".into()))? != 0,
-                    ),
-                })
-            }
-            Inst::GlobalAddr { global } => Ok(Value::Ptr(self.global_base[global.index()])),
-        }
-    }
-}
-
-/// Read a pre-resolved operand against the current frame.
-#[inline]
-fn read_operand(op: &Operand, regs: &[Option<Value>]) -> Result<Value, ExecError> {
-    match op {
-        Operand::Imm(v) => Ok(*v),
-        Operand::Reg(i) => regs[*i as usize]
-            .ok_or_else(|| ExecError::Undef(format!("value %{i} used before definition"))),
-        Operand::Undef(i) => Err(ExecError::Undef(format!("%{i}"))),
-    }
-}
-
-/// Read a frame register directly (the specialized register fields of the
-/// fused `BinRI`/`BinIR` forms).
-#[inline]
-fn read_reg(regs: &[Option<Value>], i: u32) -> Result<Value, ExecError> {
-    regs[i as usize]
-        .ok_or_else(|| ExecError::Undef(format!("value %{i} used before definition")))
-}
-
-/// Charge one extra unit of fuel for an instruction a superinstruction
-/// absorbed, so fused pair forms consume the same fuel as their decoded
-/// expansion.
-#[inline]
-fn charge_fuel(fuel: &mut u64) -> Result<(), ExecError> {
-    if *fuel == 0 {
-        return Err(ExecError::FuelExhausted);
-    }
-    *fuel -= 1;
-    Ok(())
-}
-
-fn exec_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
-    if op.is_float() {
-        let (x, y) = (
-            a.as_f64().ok_or_else(|| ExecError::Type("float op".into()))?,
-            b.as_f64().ok_or_else(|| ExecError::Type("float op".into()))?,
-        );
-        let r = match op {
-            BinOp::FAdd => x + y,
-            BinOp::FSub => x - y,
-            BinOp::FMul => x * y,
-            BinOp::FDiv => x / y,
-            BinOp::FRem => x % y,
-            _ => unreachable!(),
-        };
-        Ok(Value::F64(r))
-    } else {
-        let (x, y) = (
-            a.as_i64().ok_or_else(|| ExecError::Type("int op".into()))?,
-            b.as_i64().ok_or_else(|| ExecError::Type("int op".into()))?,
-        );
-        let r = match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::SDiv => {
-                if y == 0 {
-                    return Err(ExecError::DivisionByZero);
-                }
-                x.wrapping_div(y)
-            }
-            BinOp::SRem => {
-                if y == 0 {
-                    return Err(ExecError::DivisionByZero);
-                }
-                x.wrapping_rem(y)
-            }
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32),
-            BinOp::LShr => ((x as u64).wrapping_shr(y as u32)) as i64,
-            BinOp::AShr => x.wrapping_shr(y as u32),
-            _ => unreachable!(),
-        };
-        Ok(Value::I64(r))
-    }
-}
-
-fn exec_cmp(pred: CmpPred, a: Value, b: Value) -> Result<Value, ExecError> {
-    let r = if pred.is_float() {
-        let (x, y) = (
-            a.as_f64().ok_or_else(|| ExecError::Type("fcmp".into()))?,
-            b.as_f64().ok_or_else(|| ExecError::Type("fcmp".into()))?,
-        );
-        match pred {
-            CmpPred::FEq => x == y,
-            CmpPred::FNe => x != y,
-            CmpPred::FLt => x < y,
-            CmpPred::FLe => x <= y,
-            CmpPred::FGt => x > y,
-            CmpPred::FGe => x >= y,
-            _ => unreachable!(),
-        }
-    } else {
-        let (x, y) = (
-            a.as_i64().ok_or_else(|| ExecError::Type("icmp".into()))?,
-            b.as_i64().ok_or_else(|| ExecError::Type("icmp".into()))?,
-        );
-        match pred {
-            CmpPred::IEq => x == y,
-            CmpPred::INe => x != y,
-            CmpPred::ILt => x < y,
-            CmpPred::ILe => x <= y,
-            CmpPred::IGt => x > y,
-            CmpPred::IGe => x >= y,
-            _ => unreachable!(),
-        }
-    };
-    Ok(Value::Bool(r))
-}
-
-fn exec_math(kind: Intrinsic, args: &[f64]) -> f64 {
-    match kind {
-        Intrinsic::Exp => args[0].exp(),
-        Intrinsic::Log => args[0].ln(),
-        Intrinsic::Sqrt => args[0].sqrt(),
-        Intrinsic::Sin => args[0].sin(),
-        Intrinsic::Cos => args[0].cos(),
-        Intrinsic::Tanh => args[0].tanh(),
-        Intrinsic::Pow => args[0].powf(args[1]),
-        Intrinsic::FAbs => args[0].abs(),
-        Intrinsic::Floor => args[0].floor(),
-        Intrinsic::Ceil => args[0].ceil(),
-        Intrinsic::FMin => args[0].min(args[1]),
-        Intrinsic::FMax => args[0].max(args[1]),
-        Intrinsic::RandUniform | Intrinsic::RandNormal => unreachable!(),
+    /// Call a function through the direct-threaded dispatcher (see
+    /// [`crate::backend::threaded`]).
+    ///
+    /// # Errors
+    /// Same surface as [`Engine::call`].
+    pub fn call_threaded(&mut self, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
+        self.call_tier(Tier::Threaded, func, args)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distill_ir::{FunctionBuilder, Module, Ty};
+    use distill_ir::{FunctionBuilder, Intrinsic, Module, Ty};
+    use distill_pyvm::SplitMix64;
+
+    const ALL_TIERS: [Tier; 4] = [Tier::Reference, Tier::Decoded, Tier::Fused, Tier::Threaded];
 
     fn axpy_module() -> (Module, FuncId) {
         let mut m = Module::new("m");
@@ -1467,11 +767,14 @@ mod tests {
     }
 
     #[test]
-    fn reference_path_matches_decoded_path() {
+    fn every_tier_matches_the_reference_path() {
         let (m, fid) = axpy_module();
         let mut e = Engine::new(m);
         let args = [Value::F64(2.0), Value::F64(3.0), Value::F64(1.0)];
-        assert_eq!(e.call(fid, &args), e.call_reference(fid, &args));
+        let oracle = e.call_reference(fid, &args);
+        for tier in ALL_TIERS {
+            assert_eq!(e.call_tier(tier, fid, &args), oracle, "{tier}");
+        }
     }
 
     fn sum_module() -> (Module, FuncId) {
@@ -1518,16 +821,15 @@ mod tests {
     }
 
     #[test]
-    fn loops_and_phis_match_reference() {
+    fn loops_and_phis_match_reference_on_every_tier() {
         let (m, fid) = sum_module();
         let mut fast = Engine::new(m.clone());
         let mut slow = Engine::new(m);
         for n in [0i64, 1, 2, 17, 100] {
-            assert_eq!(
-                fast.call(fid, &[Value::I64(n)]),
-                slow.call_reference(fid, &[Value::I64(n)]),
-                "n={n}"
-            );
+            let oracle = slow.call_reference(fid, &[Value::I64(n)]);
+            for tier in ALL_TIERS {
+                assert_eq!(fast.call_tier(tier, fid, &[Value::I64(n)]), oracle, "n={n} {tier}");
+            }
         }
         assert_eq!(fast.memory_bits(), slow.memory_bits());
     }
@@ -1611,7 +913,7 @@ mod tests {
     }
 
     #[test]
-    fn call_depth_limit_is_a_typed_error_on_both_paths() {
+    fn call_depth_limit_is_a_typed_error_on_every_tier() {
         // f(x) = f(x): infinite recursion trips the depth limit.
         let mut m = Module::new("m");
         let fid = m.declare_function("f", vec![Ty::I64], Ty::I64);
@@ -1630,14 +932,13 @@ mod tests {
             .stack_size(32 * 1024 * 1024)
             .spawn(move || {
                 let mut e = Engine::new(m);
-                assert_eq!(
-                    e.call(fid, &[Value::I64(0)]),
-                    Err(ExecError::DepthExceeded)
-                );
-                assert_eq!(
-                    e.call_reference(fid, &[Value::I64(0)]),
-                    Err(ExecError::DepthExceeded)
-                );
+                for tier in ALL_TIERS {
+                    assert_eq!(
+                        e.call_tier(tier, fid, &[Value::I64(0)]),
+                        Err(ExecError::DepthExceeded),
+                        "{tier}"
+                    );
+                }
             })
             .unwrap()
             .join()
@@ -1660,11 +961,11 @@ mod tests {
             b.ret(Some(v));
         }
         let mut e = Engine::new(m);
-        let before = e.memory.len();
+        let before = e.ctx.memory.len();
         for _ in 0..100 {
             e.call(fid, &[Value::F64(1.0)]).unwrap();
         }
-        assert_eq!(e.memory.len(), before, "stack slots must be reclaimed");
+        assert_eq!(e.ctx.memory.len(), before, "stack slots must be reclaimed");
     }
 
     #[test]
@@ -1727,18 +1028,17 @@ mod tests {
             b.ret(Some(r));
         }
         let mut e = Engine::new(m);
-        assert_eq!(
-            e.call(fid, &[Value::I64(1), Value::I64(0)]),
-            Err(ExecError::DivisionByZero)
-        );
-        assert_eq!(
-            e.call_reference(fid, &[Value::I64(1), Value::I64(0)]),
-            Err(ExecError::DivisionByZero)
-        );
+        for tier in ALL_TIERS {
+            assert_eq!(
+                e.call_tier(tier, fid, &[Value::I64(1), Value::I64(0)]),
+                Err(ExecError::DivisionByZero),
+                "{tier}"
+            );
+        }
     }
 
     #[test]
-    fn fuel_limit_stops_runaway_loops() {
+    fn fuel_limit_stops_runaway_loops_on_every_tier() {
         let mut m = Module::new("m");
         let fid = m.declare_function("spin", vec![], Ty::Void);
         {
@@ -1755,8 +1055,13 @@ mod tests {
         }
         let mut e = Engine::new(m);
         e.fuel_limit = 10_000;
-        assert_eq!(e.call(fid, &[]), Err(ExecError::FuelExhausted));
-        assert_eq!(e.call_reference(fid, &[]), Err(ExecError::FuelExhausted));
+        for tier in ALL_TIERS {
+            assert_eq!(
+                e.call_tier(tier, fid, &[]),
+                Err(ExecError::FuelExhausted),
+                "{tier}"
+            );
+        }
     }
 
     #[test]
@@ -1771,32 +1076,23 @@ mod tests {
     }
 
     #[test]
-    fn clones_share_the_decoded_code() {
+    fn clones_share_every_tiers_prepared_code() {
         let (m, _) = axpy_module();
         let e1 = Engine::new(m);
         let e2 = e1.clone();
-        assert!(Arc::ptr_eq(&e1.decoded, &e2.decoded));
-        assert!(Arc::ptr_eq(&e1.fused, &e2.fused));
+        assert!(Arc::ptr_eq(&e1.decoded.code, &e2.decoded.code));
+        assert!(Arc::ptr_eq(&e1.fused.code, &e2.fused.code));
+        assert!(Arc::ptr_eq(&e1.threaded.code, &e2.threaded.code));
         assert!(Arc::ptr_eq(&e1.module, &e2.module));
     }
 
     #[test]
-    fn fusion_knob_parses_env_values() {
-        for off in ["0", "off", "OFF", "false", "False", "no", "NO"] {
-            assert!(!ExecConfig::fuse_from_env_value(Some(off)), "{off}");
-        }
-        assert!(ExecConfig::fuse_from_env_value(Some("1")));
-        assert!(ExecConfig::fuse_from_env_value(Some("")));
-        assert!(ExecConfig::fuse_from_env_value(None));
-    }
-
-    #[test]
-    fn disabled_fusion_aliases_the_decoded_code() {
+    fn decoded_policy_aliases_the_decoded_code() {
         let (m, fid) = axpy_module();
-        let mut e = Engine::with_config(m, ExecConfig { fuse: false });
+        let mut e = Engine::with_config(m, ExecConfig::fixed(Tier::Decoded));
         assert!(!e.fuse_enabled());
         assert_eq!(e.fuse_summary(), FuseSummary::default());
-        assert!(Arc::ptr_eq(&e.fused, &e.decoded));
+        assert!(Arc::ptr_eq(&e.fused.code, &e.decoded.code));
         let args = [Value::F64(2.0), Value::F64(3.0), Value::F64(1.0)];
         assert_eq!(e.call(fid, &args), Ok(Value::F64(7.0)));
         assert_eq!(e.stats().fused_ops, 0, "no superinstructions without fusion");
@@ -1805,9 +1101,9 @@ mod tests {
     #[test]
     fn fused_and_decoded_paths_agree_and_fusion_shrinks_frames() {
         let (m, fid) = sum_module();
-        // Pinned explicitly so an inherited DISTILL_FUSE=0 cannot turn this
+        // Pinned explicitly so an inherited DISTILL_TIER cannot turn this
         // into a decoded-vs-decoded comparison.
-        let mut e = Engine::with_config(m, ExecConfig { fuse: true });
+        let mut e = Engine::with_config(m, ExecConfig::fixed(Tier::Fused));
         assert!(e.fuse_enabled());
         let summary = e.fuse_summary();
         assert!(
@@ -1829,18 +1125,84 @@ mod tests {
     }
 
     #[test]
-    fn missing_body_errors_on_both_paths() {
+    fn threaded_tier_matches_fused_results_and_instruction_counts() {
+        let (m, fid) = sum_module();
+        let mut fused = Engine::with_config(m.clone(), ExecConfig::fixed(Tier::Fused));
+        let mut threaded = Engine::with_config(m, ExecConfig::fixed(Tier::Threaded));
+        for n in [0i64, 1, 17, 100] {
+            assert_eq!(
+                threaded.call(fid, &[Value::I64(n)]),
+                fused.call(fid, &[Value::I64(n)]),
+                "n={n}"
+            );
+        }
+        // Block-granular accounting on the threaded tier must total exactly
+        // what the fused interpreter charges per op.
+        assert_eq!(threaded.stats().instructions, fused.stats().instructions);
+        assert_eq!(threaded.stats().fused_ops, fused.stats().fused_ops);
+        assert_eq!(threaded.memory_bits(), fused.memory_bits());
+    }
+
+    #[test]
+    fn adaptive_policy_promotes_hot_functions_at_the_call_boundary() {
+        let (m, fid) = sum_module();
+        let mut e = Engine::with_config(
+            m,
+            ExecConfig {
+                policy: TierPolicy::Adaptive {
+                    hot_call_threshold: 4,
+                },
+            },
+        );
+        let mut fixed = Engine::with_config(
+            e.module().clone(),
+            ExecConfig::fixed(Tier::Fused),
+        );
+        for i in 0..8 {
+            assert_eq!(
+                e.call(fid, &[Value::I64(i)]),
+                fixed.call(fid, &[Value::I64(i)]),
+                "call {i}"
+            );
+        }
+        assert_eq!(e.stats().tier_promotions, 1, "stats: {:?}", e.stats());
+        // Promotion state is inherited by clones: a worker spawned now does
+        // not re-promote (or re-interpret) the hot function.
+        let mut worker = e.clone();
+        let base = worker.stats();
+        worker.call(fid, &[Value::I64(3)]).unwrap();
+        assert_eq!(worker.stats_since(&base).tier_promotions, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_below_threshold_stays_decoded() {
+        let (m, fid) = sum_module();
+        let mut e = Engine::with_config(
+            m,
+            ExecConfig {
+                policy: TierPolicy::Adaptive {
+                    hot_call_threshold: 100,
+                },
+            },
+        );
+        for i in 0..8 {
+            e.call(fid, &[Value::I64(i)]).unwrap();
+        }
+        assert_eq!(e.stats().tier_promotions, 0);
+    }
+
+    #[test]
+    fn missing_body_errors_on_every_tier() {
         let mut m = Module::new("m");
         let fid = m.declare_function("decl", vec![], Ty::F64);
         m.function_mut(fid).is_declaration = true;
         let mut e = Engine::new(m);
-        assert_eq!(
-            e.call(fid, &[]),
-            Err(ExecError::MissingBody("decl".into()))
-        );
-        assert_eq!(
-            e.call_reference(fid, &[]),
-            Err(ExecError::MissingBody("decl".into()))
-        );
+        for tier in ALL_TIERS {
+            assert_eq!(
+                e.call_tier(tier, fid, &[]),
+                Err(ExecError::MissingBody("decl".into())),
+                "{tier}"
+            );
+        }
     }
 }

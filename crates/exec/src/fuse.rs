@@ -28,7 +28,12 @@
 //!   feeding a `store` to [`DecodedInst::BinStore`];
 //! * **compare + branch** — a single-use `cmp` that is the block's last
 //!   instruction and feeds its conditional terminator fuses into the
-//!   terminator itself ([`DecodedTerm::CmpBr`]).
+//!   terminator itself ([`DecodedTerm::CmpBr`]); when the fused compare is
+//!   in turn fed by a block-final immediate-specialized binop (the
+//!   `i += 1; i < n` shape of every counted loop), the chain collapses
+//!   further into [`DecodedTerm::BinRICmpBr`] — increment, compare and
+//!   branch in one dispatch, with the increment's register still written
+//!   for the phis that read it.
 //!
 //! After fusion a **per-block register-liveness pass** compacts the frame:
 //! the decoded frame has one slot per SSA *value* (constants and dead
@@ -246,6 +251,7 @@ fn visit_term_operands<'a>(term: &'a DecodedTerm, f: &mut impl FnMut(&'a Operand
             f(lhs);
             f(rhs);
         }
+        DecodedTerm::BinRICmpBr { other, .. } => f(other),
         _ => {}
     }
 }
@@ -258,7 +264,23 @@ fn map_term_operands(term: &mut DecodedTerm, f: &mut impl FnMut(&mut Operand)) {
             f(lhs);
             f(rhs);
         }
+        DecodedTerm::BinRICmpBr { other, .. } => f(other),
         _ => {}
+    }
+}
+
+/// Registers a terminator reads, including the bare `src` register field of
+/// `BinRICmpBr` (the register-level analogue of [`inst_read_regs`] — the
+/// operand visitors above by design do not see bare `u32` fields).
+fn term_read_regs(term: &DecodedTerm, out: &mut Vec<u32>) {
+    out.clear();
+    visit_term_operands(term, &mut |o| {
+        if let Operand::Reg(r) = o {
+            out.push(*r);
+        }
+    });
+    if let DecodedTerm::BinRICmpBr { src, .. } = term {
+        out.push(*src);
     }
 }
 
@@ -270,6 +292,9 @@ fn successors(term: &DecodedTerm) -> Vec<u32> {
             then_blk, else_blk, ..
         }
         | DecodedTerm::CmpBr {
+            then_blk, else_blk, ..
+        }
+        | DecodedTerm::BinRICmpBr {
             then_blk, else_blk, ..
         } => vec![*then_blk, *else_blk],
         _ => Vec::new(),
@@ -297,11 +322,10 @@ fn use_counts(blocks: &[DecodedBlock], num_values: usize) -> Vec<u32> {
                 }
             }
         }
-        visit_term_operands(&blk.term, &mut |op| {
-            if let Operand::Reg(r) = op {
-                counts[*r as usize] += 1;
-            }
-        });
+        term_read_regs(&blk.term, &mut regs);
+        for &r in &regs {
+            counts[r as usize] += 1;
+        }
     }
     counts
 }
@@ -564,6 +588,44 @@ fn fuse_function(df: &DecodedFunction, summary: &mut FuseSummary) -> DecodedFunc
                 }
             }
         }
+
+        // -- Pass 4b: chain a block-final immediate-specialized binop into
+        // the fused compare it feeds (`i += 1; i < n; br` — the back edge of
+        // every counted loop — becomes one dispatch). The terminator keeps
+        // writing the binop's destination register, so no use-count
+        // restriction applies: the loop phis read the same register they
+        // always did. Execution order inside the terminator matches the
+        // unfused sequence (read src, write dst, read the other compare
+        // operand), so `src == dst` and `other == dst` both stay exact.
+        if let DecodedTerm::CmpBr {
+            pred,
+            lhs,
+            rhs,
+            then_blk,
+            else_blk,
+        } = blk.term
+        {
+            if let Some(last) = out.last() {
+                if let DecodedInst::BinRI { op, reg, imm } = last.inst {
+                    let bin_is_lhs = lhs == Operand::Reg(last.dst);
+                    if bin_is_lhs || rhs == Operand::Reg(last.dst) {
+                        blk.term = DecodedTerm::BinRICmpBr {
+                            op,
+                            src: reg,
+                            imm,
+                            dst: last.dst,
+                            pred,
+                            other: if bin_is_lhs { rhs } else { lhs },
+                            bin_is_lhs,
+                            then_blk,
+                            else_blk,
+                        };
+                        out.pop();
+                        summary.superinstructions += 1;
+                    }
+                }
+            }
+        }
         blk.code = out.into();
     }
 
@@ -633,6 +695,7 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
     let mut ue = vec![vec![0u64; words]; nblocks];
     let mut def = vec![vec![0u64; words]; nblocks];
     let mut phi_regs = vec![0u64; words];
+    let mut term_defs = vec![0u64; words];
     for (b, blk) in blocks.iter().enumerate() {
         for (_, edge) in blk.phi_edges.iter() {
             if let PhiEdge::Copies(copies) = edge {
@@ -657,6 +720,22 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
             }
             let (w, m) = idx(op.dst);
             def[b][w] |= m;
+        }
+        // Terminator accesses in execution order: `BinRICmpBr` reads its bare
+        // `src` register, *then* writes `dst`, then reads the other compare
+        // operand — so comparing against the just-written register is not an
+        // upward-exposed use. The written register is forced into the global
+        // slot set below: it may never be read (the loop phis can bypass it),
+        // and a local that is only ever defined would otherwise stay
+        // unmapped.
+        if let DecodedTerm::BinRICmpBr { src, dst, .. } = &blk.term {
+            let (w, m) = idx(*src);
+            if def[b][w] & m == 0 {
+                ue[b][w] |= m;
+            }
+            let (w, m) = idx(*dst);
+            def[b][w] |= m;
+            term_defs[w] |= m;
         }
         visit_term_operands(&blk.term, &mut |o| {
             if let Operand::Reg(r) = o {
@@ -728,23 +807,23 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
     // Global registers: parameters, phi registers, anything live into a
     // block. Everything else is block-local and may share slots.
     let mut global = vec![0u64; words];
-    for w in 0..words {
-        global[w] |= phi_regs[w];
-        for b in 0..nblocks {
-            global[w] |= live_in[b][w];
+    for (w, g) in global.iter_mut().enumerate() {
+        *g |= phi_regs[w] | term_defs[w];
+        for b in live_in.iter().take(nblocks) {
+            *g |= b[w];
         }
     }
     const UNMAPPED: u32 = u32::MAX;
     let mut slot = vec![UNMAPPED; num_values];
     let mut next = 0u32;
-    for p in 0..num_params.min(num_values) {
-        slot[p] = next;
+    for s in slot.iter_mut().take(num_params.min(num_values)) {
+        *s = next;
         next += 1;
     }
-    for r in 0..num_values {
+    for (r, s) in slot.iter_mut().enumerate() {
         let (w, m) = idx(r as u32);
-        if global[w] & m != 0 && slot[r] == UNMAPPED {
-            slot[r] = next;
+        if global[w] & m != 0 && *s == UNMAPPED {
+            *s = next;
             next += 1;
         }
     }
@@ -766,11 +845,10 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
                 }
             }
         }
-        visit_term_operands(&blk.term, &mut |o| {
-            if let Operand::Reg(r) = o {
-                last_use.insert(*r, len);
-            }
-        });
+        term_read_regs(&blk.term, &mut scratch);
+        for &r in &scratch {
+            last_use.insert(r, len);
+        }
         let mut free: Vec<u32> = Vec::new();
         let mut local_next = global_count;
         for (i, op) in blk.code.iter().enumerate() {
@@ -795,7 +873,7 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
                     local_next += 1;
                     local_next - 1
                 });
-                if last_use.get(&op.dst).is_none() {
+                if !last_use.contains_key(&op.dst) {
                     // Result never read: the slot is written and immediately
                     // reusable.
                     free.push(slot[d]);
@@ -831,6 +909,10 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
             }
         }
         blk.phi_edges = edges.into();
+        if let DecodedTerm::BinRICmpBr { src, dst, .. } = &mut blk.term {
+            *src = remap(*src);
+            *dst = remap(*dst);
+        }
         map_term_operands(&mut blk.term, &mut |o| {
             if let Operand::Reg(r) = o {
                 *o = Operand::Reg(remap(*r));
@@ -844,7 +926,7 @@ fn compact_frame(blocks: &mut [DecodedBlock], num_values: usize, num_params: usi
 mod tests {
     use super::*;
     use crate::decode::decode_function;
-    use distill_ir::{CmpPred, FunctionBuilder, Module, Ty};
+    use distill_ir::{BinOp, CmpPred, FunctionBuilder, Module, Ty};
 
     fn fuse_one(m: &Module, fid: distill_ir::FuncId, global_base: &[usize]) -> (DecodedFunction, FuseSummary) {
         let d = decode_function(m.function(fid), global_base);
@@ -953,6 +1035,74 @@ mod tests {
             body.iter().any(|op| matches!(op.inst, DecodedInst::BinRI { .. })),
             "{body:?}"
         );
+    }
+
+    #[test]
+    fn block_final_binri_chains_into_the_fused_compare() {
+        // A do-while loop back edge: `i2 = iadd i, 1; c = cmp i2 < n;
+        // cond_br c, body, exit`. Pass 4 fuses the cmp into the terminator,
+        // pass 4b then chains the immediate-specialized increment into it —
+        // the whole back edge is a single `BinRICmpBr` dispatch. The
+        // increment's destination register survives (the loop phi reads it).
+        let mut m = Module::new("m");
+        let g = m.add_zeroed_global("buf", Ty::array(Ty::F64, 8), true);
+        let tys: Vec<Ty> = m.globals.iter().map(|g| g.ty.clone()).collect();
+        let fid = m.declare_function("sum_dw", vec![Ty::I64], Ty::F64);
+        {
+            let f = m.function_mut(fid);
+            let mut b = FunctionBuilder::new(f).with_global_types(tys);
+            let entry = b.create_block("entry");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let n = b.param(0);
+            let zero = b.const_i64(0);
+            let zf = b.const_f64(0.0);
+            b.br(body);
+            b.switch_to_block(body);
+            let i = b.empty_phi(Ty::I64);
+            let acc = b.empty_phi(Ty::F64);
+            b.add_phi_incoming(i, entry, zero);
+            b.add_phi_incoming(acc, entry, zf);
+            let base = b.global_addr(g);
+            let p = b.elem_addr(base, i);
+            let v = b.load(p);
+            let acc2 = b.fadd(acc, v);
+            let one = b.const_i64(1);
+            let i2 = b.iadd(i, one);
+            let c = b.cmp(CmpPred::ILt, i2, n);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.cond_br(c, body, exit);
+            b.switch_to_block(exit);
+            b.ret(Some(acc));
+        }
+        let (f, s) = fuse_one(&m, fid, &[0]);
+        let body = &f.blocks[1];
+        assert!(
+            matches!(
+                body.term,
+                DecodedTerm::BinRICmpBr {
+                    op: BinOp::Add,
+                    imm: Value::I64(1),
+                    bin_is_lhs: true,
+                    ..
+                }
+            ),
+            "back edge must be a single chained dispatch: {:?}",
+            body.term
+        );
+        assert!(
+            !body
+                .code
+                .iter()
+                .any(|op| matches!(op.inst, DecodedInst::BinRI { .. } | DecodedInst::Cmp { .. })),
+            "increment and compare must both leave the block body: {:?}",
+            body.code
+        );
+        // Both folded instructions still count toward the executed-op
+        // bookkeeping (the terminator charges and tallies them itself).
+        assert!(s.superinstructions >= 2, "{s:?}");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! Three backends:
 //!
 //! * [`engine::Engine`] — single-thread execution of any IR function over
-//!   the module's globals.
+//!   the module's globals, behind four pluggable specialization tiers
+//!   (see [`backend`]): the IR-walking reference oracle, the predecoded
+//!   interpreter, the fused superinstruction stream, and direct-threaded
+//!   dispatch — selected per call by a [`TierPolicy`].
 //! * [`mcpu`] — the multicore grid-search backend of §3.6: the evaluation
 //!   space is split across OS threads, each thread works on its own copy of
 //!   the read-write state (here: its own copy of the engine memory), and the
@@ -20,6 +23,7 @@
 //!   occupancy/register/local-memory cost model calibrated to the paper's
 //!   GTX 1060 observations (see DESIGN.md for the substitution rationale).
 
+pub mod backend;
 pub mod decode;
 pub mod engine;
 pub mod fuse;
@@ -27,7 +31,8 @@ pub mod gpu;
 pub mod mcpu;
 pub mod shard;
 
-pub use engine::{Engine, EngineStats, ExecConfig, ExecError, Value};
+pub use backend::{ExecTier, Tier, TierCodeStats, TierPolicy};
+pub use engine::{Engine, EngineCtx, EngineStats, ExecConfig, ExecError, Value};
 pub use fuse::FuseSummary;
 pub use gpu::{GpuConfig, GpuRunReport};
 pub use mcpu::{

@@ -237,7 +237,8 @@ pub fn parallel_argmin_static(
         return Ok(empty_result(threads));
     }
     let chunk = grid_size.div_ceil(threads);
-    let results: Vec<Result<((usize, f64), EngineStats), ExecError>> =
+    type WorkerResult = Result<((usize, f64), EngineStats), ExecError>;
+    let results: Vec<WorkerResult> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {

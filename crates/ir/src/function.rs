@@ -364,12 +364,7 @@ impl Function {
 
     /// Find the block that schedules `id`, if any.
     pub fn defining_block(&self, id: ValueId) -> Option<BlockId> {
-        for b in self.block_order() {
-            if self.block(b).insts.contains(&id) {
-                return Some(b);
-            }
-        }
-        None
+        self.block_order().find(|&b| self.block(b).insts.contains(&id))
     }
 }
 

@@ -114,11 +114,11 @@ pub fn print_inst(module: &Module, func: &Function, inst: &Inst) -> String {
                 .get(callee.index())
                 .map(|f| f.name.clone())
                 .unwrap_or_else(|| callee.to_string());
-            let args: Vec<String> = args.iter().map(|a| op(a)).collect();
+            let args: Vec<String> = args.iter().map(&op).collect();
             format!("call @{}({})", name, args.join(", "))
         }
         Inst::IntrinsicCall { kind, args } => {
-            let args: Vec<String> = args.iter().map(|a| op(a)).collect();
+            let args: Vec<String> = args.iter().map(&op).collect();
             format!("call @{}({})", kind.name(), args.join(", "))
         }
         Inst::Alloca { ty } => format!("alloca {ty}"),

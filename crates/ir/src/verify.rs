@@ -105,17 +105,16 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
         let blk = func.block(b);
         for &v in &blk.insts {
             let inst = func.as_inst(v).expect("checked above");
-            check_inst(module, func, &cfg, b, v, inst).map_err(|m| err(m))?;
+            check_inst(module, func, &cfg, b, v, inst).map_err(&err)?;
         }
         match blk.term.as_ref().unwrap() {
-            Terminator::CondBr { cond, .. } => {
-                if *func.ty(*cond) != Ty::Bool {
+            Terminator::CondBr { cond, .. }
+                if *func.ty(*cond) != Ty::Bool => {
                     return Err(err(format!(
                         "conditional branch in {} on non-boolean {cond}",
                         blk.name
                     )));
                 }
-            }
             Terminator::Ret(val) => match (val, &func.ret_ty) {
                 (None, Ty::Void) => {}
                 (Some(v), ret_ty) => {

@@ -62,7 +62,7 @@ pub fn necker_cube(n: usize, passes: u64) -> Workload {
         // the stimulus vector).
         let probe = c.add(
             Mechanism::new(
-                &format!("probe_{v}"),
+                format!("probe_{v}"),
                 NodeComputation::scalar(E::input_elem(0, v)),
             )
             .with_inputs(vec![n]),
@@ -650,7 +650,7 @@ pub fn multitasking() -> Workload {
 
 pub mod registry;
 
-pub use registry::{by_name, by_tag, Scale, Tag, TargetKind, WorkloadSpec};
+pub use registry::{by_name, by_tag, tier_anchors, Scale, Tag, TargetKind, WorkloadSpec};
 
 /// The eight models of Fig. 4, in the order the figure lists them —
 /// data-driven from the [`registry`] (the entries tagged [`Tag::Figure4`]).

@@ -56,6 +56,9 @@ pub enum Tag {
     Skewed,
     /// Stress configuration for the GPU cost model.
     GpuCost,
+    /// Measured by the execution-tier figure (`figures --tiers`): families
+    /// whose interpreter-bound inner loops make dispatch overhead visible.
+    TierAnchor,
 }
 
 /// A declaratively-registered workload family.
@@ -192,7 +195,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "predator_prey_2",
         summary: "predator-prey S: grid-search attention controller, 8 evals/trial",
-        tags: &[Tag::Figure4, Tag::Scaling, Tag::Sweep],
+        tags: &[Tag::Figure4, Tag::Scaling, Tag::Sweep, Tag::TierAnchor],
         targets: ALL_TARGETS,
         sweep_trials: (240, 2000),
         build: b_pp_s,
@@ -248,7 +251,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "predator_prey_skewed",
         summary: "cost-skewed predator-prey: attention buys deliberation work",
-        tags: &[Tag::Skewed, Tag::Sweep],
+        tags: &[Tag::Skewed, Tag::Sweep, Tag::TierAnchor],
         targets: &[TargetKind::SingleCore, TargetKind::MultiCore],
         sweep_trials: (8, 40),
         build: b_pp_skewed,
@@ -276,6 +279,16 @@ pub fn by_tag(tag: Tag) -> Vec<&'static WorkloadSpec> {
 /// Look a family up by registry key.
 pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
     REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// The families the execution-tier figure measures, cost-skewed entries
+/// first: the skewed family's long deliberation loop is where dispatch
+/// overhead dominates, so it leads and is the entry the
+/// `bench-diff --min-threaded-speedup` gate anchors on.
+pub fn tier_anchors() -> Vec<&'static WorkloadSpec> {
+    let mut specs = by_tag(Tag::TierAnchor);
+    specs.sort_by_key(|s| !s.has_tag(Tag::Skewed));
+    specs
 }
 
 #[cfg(test)]
@@ -316,6 +329,14 @@ mod tests {
                 assert!(!w.inputs.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn tier_anchors_lead_with_the_skewed_family() {
+        let anchors = tier_anchors();
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[0].name, "predator_prey_skewed", "gate anchor leads");
+        assert_eq!(anchors[1].name, "predator_prey_2");
     }
 
     #[test]

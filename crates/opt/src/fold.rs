@@ -161,11 +161,10 @@ fn fold_bin(func: &Function, op: BinOp, lhs: ValueId, rhs: ValueId) -> Option<Fo
                 return Some(Folded::Value(rhs));
             }
         }
-        BinOp::FSub => {
-            if is_f64_const(func, rhs, 0.0) {
+        BinOp::FSub
+            if is_f64_const(func, rhs, 0.0) => {
                 return Some(Folded::Value(lhs));
             }
-        }
         BinOp::FMul => {
             if is_f64_const(func, rhs, 1.0) {
                 return Some(Folded::Value(lhs));
@@ -174,11 +173,10 @@ fn fold_bin(func: &Function, op: BinOp, lhs: ValueId, rhs: ValueId) -> Option<Fo
                 return Some(Folded::Value(rhs));
             }
         }
-        BinOp::FDiv => {
-            if is_f64_const(func, rhs, 1.0) {
+        BinOp::FDiv
+            if is_f64_const(func, rhs, 1.0) => {
                 return Some(Folded::Value(lhs));
             }
-        }
         BinOp::Add => {
             if i64_of(func, rhs) == Some(0) {
                 return Some(Folded::Value(lhs));
@@ -187,11 +185,10 @@ fn fold_bin(func: &Function, op: BinOp, lhs: ValueId, rhs: ValueId) -> Option<Fo
                 return Some(Folded::Value(rhs));
             }
         }
-        BinOp::Sub => {
-            if i64_of(func, rhs) == Some(0) {
+        BinOp::Sub
+            if i64_of(func, rhs) == Some(0) => {
                 return Some(Folded::Value(lhs));
             }
-        }
         BinOp::Mul => {
             if i64_of(func, rhs) == Some(1) {
                 return Some(Folded::Value(lhs));
@@ -203,21 +200,18 @@ fn fold_bin(func: &Function, op: BinOp, lhs: ValueId, rhs: ValueId) -> Option<Fo
                 return Some(Folded::Const(Constant::I64(0)));
             }
         }
-        BinOp::And => {
-            if lhs == rhs {
+        BinOp::And
+            if lhs == rhs => {
                 return Some(Folded::Value(lhs));
             }
-        }
-        BinOp::Or => {
-            if lhs == rhs {
+        BinOp::Or
+            if lhs == rhs => {
                 return Some(Folded::Value(lhs));
             }
-        }
-        BinOp::Xor => {
-            if lhs == rhs {
+        BinOp::Xor
+            if lhs == rhs => {
                 return Some(Folded::Const(Constant::I64(0)));
             }
-        }
         _ => {}
     }
     None

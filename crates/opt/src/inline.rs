@@ -45,10 +45,7 @@ pub fn run(module: &mut Module) -> usize {
 /// Inline with explicit options.
 pub fn run_with_options(module: &mut Module, opts: InlineOptions) -> usize {
     let mut inlined = 0;
-    loop {
-        let Some((caller, call_value)) = find_inlinable_call(module, &opts) else {
-            break;
-        };
+    while let Some((caller, call_value)) = find_inlinable_call(module, &opts) {
         inline_call(module, caller, call_value);
         inlined += 1;
         if inlined >= opts.max_inlined_calls {
@@ -62,10 +59,7 @@ pub fn run_with_options(module: &mut Module, opts: InlineOptions) -> usize {
 /// flatten a model before comparison). Returns the number inlined.
 pub fn inline_all_calls_in(module: &mut Module, func: FuncId, opts: InlineOptions) -> usize {
     let mut inlined = 0;
-    loop {
-        let Some(call_value) = find_call_in_function(module, func, &opts) else {
-            break;
-        };
+    while let Some(call_value) = find_call_in_function(module, func, &opts) {
         inline_call(module, func, call_value);
         inlined += 1;
         if inlined >= opts.max_inlined_calls {

@@ -144,7 +144,6 @@ fn points_to_immutable_global(func: &Function, ptr: ValueId, globals_immutable: 
                 return globals_immutable
                     .get(global.index())
                     .copied()
-                    .map(|m| m)
                     .unwrap_or(false)
             }
             _ => return false,

@@ -12,6 +12,7 @@
 //! The same AST has two consumers:
 //! * the dynamic interpreter in [`crate::interp`] (the baseline), and
 //! * the IR lowering in `distill-codegen` (the Distill path),
+//!
 //! which is what guarantees the two execution paths compute the same model.
 
 use std::fmt;
@@ -137,6 +138,9 @@ pub enum Expr {
     RandUniform,
 }
 
+// `add`/`sub`/`mul`/`div` are two-argument AST constructors, not `self`
+// methods — the operator traits don't fit their by-value builder shape.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `a + b`.
     pub fn add(a: Expr, b: Expr) -> Expr {

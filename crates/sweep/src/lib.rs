@@ -132,6 +132,10 @@ pub struct SweepReport {
     pub threads: usize,
     /// Trials per compiled batch.
     pub batch: usize,
+    /// Label of the execution tier policy every family ran on (e.g.
+    /// `fused`, `threaded`, `adaptive(32)`) — archived so sweep records
+    /// from different tiers are never compared as like-for-like.
+    pub tier: String,
     /// Per-family results, in registry order.
     pub workloads: Vec<WorkloadReport>,
 }
@@ -328,6 +332,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, DistillError> {
         scale: cfg.scale,
         threads: cfg.threads,
         batch: cfg.batch,
+        tier: cfg.compile.tier.to_string(),
         workloads,
     })
 }

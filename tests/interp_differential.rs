@@ -1,15 +1,17 @@
-//! Differential suite: the fused superinstruction path against the unfused
-//! predecoded engine against the retained IR-walking reference interpreter.
+//! Differential suite: every execution tier — direct-threaded, fused,
+//! plain predecoded — against the retained IR-walking reference
+//! interpreter, plus the adaptive tier-up policy mid-promotion.
 //!
 //! The family coverage is **data-driven over the workload registry**
 //! (`distill_models::registry`): every registered family — the Fig. 2–7
 //! models plus the stress families (`predator_prey_skewed`, `gpu_stress`)
-//! and anything registered after them — is compiled and executed three times
-//! over the same module: through `Engine::call` (fused), through
-//! `Engine::call_decoded` (the unfused predecoded form) and through
-//! `Engine::call_reference` (the original IR walker), asserting bit-identical
-//! trial outputs *and* bit-identical final memory images. Registering a new
-//! family is all it takes to put it under this differential.
+//! and anything registered after them — is compiled and executed once per
+//! execution tier over the same module (one engine per `Fixed` tier policy,
+//! plus an `Adaptive` engine whose low promotion threshold makes it tier up
+//! in the middle of the differential), asserting bit-identical trial
+//! outputs *and* bit-identical final memory images. Registering a new
+//! family — or appending a new tier to [`ALL_TIERS`] — is all it takes to
+//! extend the coverage.
 //!
 //! Targeted edge cases cover phi edges, terminators, frame-pool reuse,
 //! per-node artifacts, O0/O3 IR shapes, and the work-stealing grid scheduler
@@ -17,7 +19,8 @@
 
 use distill::{
     compile, global_names as gn, parallel_argmin, parallel_argmin_static, serial_argmin,
-    CompileConfig, CompileMode, CompiledModel, Engine, ExecConfig, ExecError, OptLevel, Value,
+    CompileConfig, CompileMode, CompiledModel, Engine, ExecConfig, ExecError, OptLevel, Tier,
+    TierPolicy, Value,
 };
 use distill_ir::{BinOp, CmpPred, FunctionBuilder, Module, Terminator, Ty};
 use distill_models::{
@@ -33,22 +36,49 @@ fn flatten(w: &Workload, artifact: &CompiledModel, trial: usize) -> Vec<f64> {
     }
 }
 
-/// Run `trials` whole-model trials on all three paths — fused, unfused
-/// predecoded, IR-walking reference — and assert bit-identical behaviour:
-/// same results, same trial outputs, same final memory.
+/// Every execution tier, the reference oracle first. A tier added to
+/// `distill_exec::backend` gets full registry-driven differential coverage
+/// by being appended here (see the `backend` module docs).
+const ALL_TIERS: [Tier; 4] = [Tier::Reference, Tier::Decoded, Tier::Fused, Tier::Threaded];
+
+/// One engine per tier over the artifact's module — pinned `Fixed` policies,
+/// so an inherited `DISTILL_TIER`/`DISTILL_FUSE` cannot degrade the
+/// differential — plus an `Adaptive` engine whose promotion threshold of 2
+/// makes it tier up from decoded to threaded *during* the comparison.
+fn tier_engines(artifact: &CompiledModel) -> Vec<(String, Engine)> {
+    let mut engines: Vec<(String, Engine)> = ALL_TIERS
+        .iter()
+        .map(|t| {
+            (
+                t.to_string(),
+                Engine::with_config(artifact.module.clone(), ExecConfig::fixed(*t)),
+            )
+        })
+        .collect();
+    engines.push((
+        "adaptive".to_string(),
+        Engine::with_config(
+            artifact.module.clone(),
+            ExecConfig {
+                policy: TierPolicy::Adaptive {
+                    hot_call_threshold: 2,
+                },
+            },
+        ),
+    ));
+    engines
+}
+
+/// Run `trials` whole-model trials on every tier (and the mid-promotion
+/// adaptive policy) and assert bit-identical behaviour against the reference
+/// oracle: same results, same trial outputs, same final memory.
 fn differential_whole_model(w: &Workload, config: CompileConfig, trials: usize) {
     let artifact = compile(&w.model, config).expect("compilation succeeds");
     let trial_fn = artifact
         .trial_func
         .expect("whole-model artifact has a trial function");
     let out_len = artifact.layout.trial_output_len;
-    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
-    // three-way differential to decoded-vs-decoded.
-    let mut fused =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
-    let mut decoded =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
-    let mut slow = Engine::new(artifact.module.clone());
+    let mut engines = tier_engines(&artifact);
     let out_bits = |e: &Engine| -> Vec<u64> {
         e.read_global_f64(gn::TRIAL_OUTPUT).unwrap()[..out_len]
             .iter()
@@ -57,83 +87,79 @@ fn differential_whole_model(w: &Workload, config: CompileConfig, trials: usize) 
     };
     for trial in 0..trials {
         let flat = flatten(w, &artifact, trial);
-        fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-        decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-        slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
         let args = [Value::I64(trial as i64)];
-        let rf = fused.call(trial_fn, &args);
-        let rd = decoded.call_decoded(trial_fn, &args);
-        let rs = slow.call_reference(trial_fn, &args);
-        assert_eq!(rf, rd, "{}: trial {trial}: fused vs decoded", w.model.name);
-        assert_eq!(rd, rs, "{}: trial {trial}: decoded vs reference", w.model.name);
-        let of = out_bits(&fused);
+        let mut oracle: Option<(Result<Value, ExecError>, Vec<u64>)> = None;
+        for (label, engine) in engines.iter_mut() {
+            engine.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+            let r = engine.call(trial_fn, &args);
+            let bits = out_bits(engine);
+            match &oracle {
+                None => oracle = Some((r, bits)),
+                Some((r0, b0)) => {
+                    assert_eq!(
+                        &r, r0,
+                        "{}: trial {trial}: {label} vs reference",
+                        w.model.name
+                    );
+                    assert_eq!(
+                        &bits, b0,
+                        "{}: trial {trial} outputs diverged ({label} vs reference)",
+                        w.model.name
+                    );
+                }
+            }
+        }
+    }
+    let oracle_mem = engines[0].1.memory_bits();
+    for (label, engine) in engines.iter().skip(1) {
         assert_eq!(
-            of,
-            out_bits(&decoded),
-            "{}: trial {trial} outputs diverged (fused vs decoded)",
-            w.model.name
-        );
-        assert_eq!(
-            of,
-            out_bits(&slow),
-            "{}: trial {trial} outputs diverged (fused vs reference)",
+            engine.memory_bits(),
+            oracle_mem,
+            "{}: final memory diverged ({label} vs reference)",
             w.model.name
         );
     }
-    assert_eq!(
-        fused.memory_bits(),
-        decoded.memory_bits(),
-        "{}: final memory diverged (fused vs decoded)",
-        w.model.name
-    );
-    assert_eq!(
-        fused.memory_bits(),
-        slow.memory_bits(),
-        "{}: final memory diverged (fused vs reference)",
-        w.model.name
-    );
 }
 
-/// Run the controller's grid-evaluation kernel on all three paths.
+/// Run the controller's grid-evaluation kernel on every tier.
 fn differential_eval_kernel(w: &Workload, config: CompileConfig, points: usize) {
     let artifact = compile(&w.model, config).expect("compilation succeeds");
     let Some(eval_fn) = artifact.eval_func else {
         return;
     };
-    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
-    // three-way differential to decoded-vs-decoded.
-    let mut fused =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
-    let mut decoded =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
-    let mut slow = Engine::new(artifact.module.clone());
+    let mut engines = tier_engines(&artifact);
     let flat = flatten(w, &artifact, 0);
-    fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-    decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-    slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    for (_, engine) in engines.iter_mut() {
+        engine.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
+    }
     for g in 0..points.min(artifact.grid_size) {
         let args = [Value::I64(g as i64)];
-        let rf = fused.call(eval_fn, &args).unwrap().as_f64().unwrap();
-        let rd = decoded.call_decoded(eval_fn, &args).unwrap().as_f64().unwrap();
-        let rs = slow.call_reference(eval_fn, &args).unwrap().as_f64().unwrap();
+        let mut oracle: Option<f64> = None;
+        for (label, engine) in engines.iter_mut() {
+            let r = engine.call(eval_fn, &args).unwrap().as_f64().unwrap();
+            match oracle {
+                None => oracle = Some(r),
+                Some(r0) => assert_eq!(
+                    r.to_bits(),
+                    r0.to_bits(),
+                    "{}: grid point {g} diverged ({label} vs reference)",
+                    w.model.name
+                ),
+            }
+        }
+    }
+    let oracle_mem = engines[0].1.memory_bits();
+    for (label, engine) in engines.iter().skip(1) {
         assert_eq!(
-            rf.to_bits(),
-            rd.to_bits(),
-            "{}: grid point {g} diverged (fused vs decoded)",
-            w.model.name
-        );
-        assert_eq!(
-            rd.to_bits(),
-            rs.to_bits(),
-            "{}: grid point {g} diverged (decoded vs reference)",
+            engine.memory_bits(),
+            oracle_mem,
+            "{}: eval memory diverged ({label} vs reference)",
             w.model.name
         );
     }
-    assert_eq!(fused.memory_bits(), decoded.memory_bits());
-    assert_eq!(fused.memory_bits(), slow.memory_bits());
 }
 
-/// Run every per-node function once on all three paths.
+/// Run every per-node function once on every tier.
 fn differential_per_node(w: &Workload, config: CompileConfig) {
     let artifact = compile(
         &w.model,
@@ -143,26 +169,34 @@ fn differential_per_node(w: &Workload, config: CompileConfig) {
         },
     )
     .expect("compilation succeeds");
-    // Pinned explicitly: an inherited DISTILL_FUSE=0 must not degrade this
-    // three-way differential to decoded-vs-decoded.
-    let mut fused =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: true });
-    let mut decoded =
-        Engine::with_config(artifact.module.clone(), ExecConfig { fuse: false });
-    let mut slow = Engine::new(artifact.module.clone());
+    let mut engines = tier_engines(&artifact);
     let flat = flatten(w, &artifact, 0);
-    fused.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-    decoded.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-    slow.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
-    for &node_fn in &artifact.node_funcs {
-        let rf = fused.call(node_fn, &[]);
-        let rd = decoded.call_decoded(node_fn, &[]);
-        let rs = slow.call_reference(node_fn, &[]);
-        assert_eq!(rf, rd, "{}: node function diverged (fused)", w.model.name);
-        assert_eq!(rd, rs, "{}: node function diverged (decoded)", w.model.name);
+    for (_, engine) in engines.iter_mut() {
+        engine.write_global_f64(gn::EXT_INPUT, &flat).unwrap();
     }
-    assert_eq!(fused.memory_bits(), decoded.memory_bits());
-    assert_eq!(fused.memory_bits(), slow.memory_bits());
+    for &node_fn in &artifact.node_funcs {
+        let mut oracle: Option<Result<Value, ExecError>> = None;
+        for (label, engine) in engines.iter_mut() {
+            let r = engine.call(node_fn, &[]);
+            match &oracle {
+                None => oracle = Some(r),
+                Some(r0) => assert_eq!(
+                    &r, r0,
+                    "{}: node function diverged ({label} vs reference)",
+                    w.model.name
+                ),
+            }
+        }
+    }
+    let oracle_mem = engines[0].1.memory_bits();
+    for (label, engine) in engines.iter().skip(1) {
+        assert_eq!(
+            engine.memory_bits(),
+            oracle_mem,
+            "{}: per-node memory diverged ({label} vs reference)",
+            w.model.name
+        );
+    }
 }
 
 #[test]
@@ -487,7 +521,11 @@ fn multicore_driver_folds_steals_into_engine_stats() {
         result.stats,
         grid.stats
     );
-    if distill::ExecConfig::default().fuse {
+    let default_runs_fused = !matches!(
+        distill::ExecConfig::default().policy,
+        TierPolicy::Fixed(Tier::Reference) | TierPolicy::Fixed(Tier::Decoded)
+    );
+    if default_runs_fused {
         assert!(
             result.stats.fused_ops > 0,
             "fusion is on by default, superinstructions must execute: {:?}",
@@ -516,6 +554,97 @@ fn run_results_carry_per_run_stats_not_engine_lifetime_aggregates() {
     let shards = sharded.shards.expect("sharded run reports shard stats");
     assert!(shards.stats.instructions > 0);
     assert!(sharded.stats.instructions >= shards.stats.instructions);
+}
+
+#[test]
+fn adaptive_sessions_match_every_fixed_tier_and_count_promotions() {
+    use distill::{RunSpec, Session};
+    let w = predator_prey_s();
+    let spec = RunSpec::new(w.inputs.clone(), 4);
+    let run_with = |policy: TierPolicy| {
+        let mut runner = Session::new(&w.model)
+            .tier(policy)
+            .build()
+            .expect("runner builds");
+        runner.run(&spec).expect("run succeeds")
+    };
+    let oracle = run_with(TierPolicy::Fixed(Tier::Reference));
+    let bits = |r: &distill::RunResult| -> Vec<Vec<u64>> {
+        r.outputs
+            .iter()
+            .map(|o| o.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    };
+    for tier in [Tier::Decoded, Tier::Fused, Tier::Threaded] {
+        let r = run_with(TierPolicy::Fixed(tier));
+        assert_eq!(bits(&r), bits(&oracle), "{tier} diverged from reference");
+        assert_eq!(r.passes, oracle.passes, "{tier} pass counts diverged");
+        assert_eq!(
+            r.stats.tier_promotions, 0,
+            "fixed policies never promote: {tier}"
+        );
+    }
+    // The adaptive policy promotes the hot trial function mid-run and still
+    // matches the oracle bit for bit.
+    let hot = run_with(TierPolicy::Adaptive {
+        hot_call_threshold: 2,
+    });
+    assert_eq!(bits(&hot), bits(&oracle), "adaptive diverged from reference");
+    assert!(
+        hot.stats.tier_promotions > 0,
+        "4 trials past a threshold of 2 must promote: {:?}",
+        hot.stats
+    );
+    // Below the threshold nothing is promoted.
+    let cold = run_with(TierPolicy::Adaptive {
+        hot_call_threshold: 1 << 40,
+    });
+    assert_eq!(bits(&cold), bits(&oracle), "cold adaptive diverged");
+    assert_eq!(
+        cold.stats.tier_promotions, 0,
+        "below-threshold runs must not promote: {:?}",
+        cold.stats
+    );
+}
+
+#[test]
+fn adaptive_promotion_does_not_double_count_per_run_stats() {
+    use distill::{RunSpec, Session};
+    // A promotion in the middle of a run switches tiers at a call boundary;
+    // the per-run stats delta must keep counting each dispatched instruction
+    // exactly once. Summing per-run deltas over runs that straddle the
+    // promotion must reproduce the engine's lifetime counters.
+    let w = predator_prey_s();
+    let spec = RunSpec::new(w.inputs.clone(), 2);
+    let mut runner = Session::new(&w.model)
+        .tier(TierPolicy::Adaptive {
+            hot_call_threshold: 3,
+        })
+        .build()
+        .expect("runner builds");
+    let first = runner.run(&spec).expect("first run"); // calls 1-2: decoded
+    let second = runner.run(&spec).expect("second run"); // promotes at call 3
+    let third = runner.run(&spec).expect("third run"); // threaded throughout
+    assert_eq!(
+        first.stats.tier_promotions + second.stats.tier_promotions + third.stats.tier_promotions,
+        1,
+        "exactly one promotion across the three runs"
+    );
+    assert_eq!(second.stats.tier_promotions, 1, "promotion lands in run two");
+    let engine = runner.engine().expect("compiled backend has an engine");
+    let lifetime = engine.stats();
+    assert_eq!(
+        first.stats.instructions + second.stats.instructions + third.stats.instructions,
+        lifetime.instructions,
+        "per-run instruction deltas must partition the lifetime count"
+    );
+    assert_eq!(
+        first.stats.calls + second.stats.calls + third.stats.calls,
+        lifetime.calls
+    );
+    // Outputs stay bit-identical across the tier switch.
+    assert_eq!(first.outputs, second.outputs);
+    assert_eq!(second.outputs, third.outputs);
 }
 
 #[test]
