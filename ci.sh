@@ -28,13 +28,20 @@ cargo run --release --example quickstart
 cargo run --release --example predator_prey_attention
 cargo run --release --example model_analysis
 
-echo "== figures (reduced workloads incl. the sweep + fused + tiers figures, JSON to bench_results/)"
+echo "== serving smoke (bounded open-loop run, served-vs-solo bit-identity)"
+# Starts a distill-serve daemon, drives the registry's serve mix with
+# concurrent open-loop clients, and verifies a sample of coalesced
+# responses bitwise against solo reruns; exits non-zero on any mismatch.
+cargo run --release -p distill-serve --example open_loop_smoke
+
+echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve figures, JSON to bench_results/)"
 # The default run covers every figure, including `sweep` — the reduced
 # registry sweep (serial vs sharded+batched per family, bit-identity
 # verified) — `fused` (the superinstruction path vs the unfused predecoded
-# interpreter) and `tiers` (direct-threaded dispatch vs the fused
-# interpreter, plus the adaptive tier-up probe), all of which the gates
-# below read.
+# interpreter), `tiers` (direct-threaded dispatch vs the fused
+# interpreter, plus the adaptive tier-up probe) and `serve` (the serving
+# daemon's coalesced throughput vs sequential solo replay), all of which
+# the gates below read.
 cargo run --release -p distill-bench --bin figures
 
 echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run)"
@@ -50,8 +57,10 @@ echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run
 # dispatch speedup (>= 1.05x over the fused interpreter on the cost-skewed
 # anchor, bit-identical to fused and to the reference oracle, adaptive
 # probe promoting and matching), the sweep subsystem's sharded+batched
-# speedup (>= 1.5x over per-trial multicore grid search) and the sweep's
-# bit-identity flags.
+# speedup (>= 1.5x over per-trial multicore grid search), the serving
+# daemon's throughput bound (coalesced serving >= 0.75x of sequential solo
+# replay — an overhead bound, not a speedup gate, so it holds on
+# single-core runners) and the sweep's and serve's bit-identity flags.
 # The committed baseline records absolute timings from one machine; when
 # this gate moves to a much slower host, refresh the snapshot once with
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
@@ -64,6 +73,6 @@ cargo run --release -p distill-bench --bin bench-diff -- \
   bench_results/baseline/figures.json bench_results/figures.json \
   --threshold 1.5 --min-seconds 0.1 \
   --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15 \
-  --min-threaded-speedup 1.05
+  --min-threaded-speedup 1.05 --min-serve-throughput 0.75
 
 echo "CI OK"

@@ -104,6 +104,9 @@ impl GroupReport {
                                 ("id", Json::str(&b.id)),
                                 ("median_s", b.stats.median.into()),
                                 ("mad_s", b.stats.mad.into()),
+                                ("p50_s", b.stats.p50.into()),
+                                ("p95_s", b.stats.p95.into()),
+                                ("p99_s", b.stats.p99.into()),
                                 ("mean_s", b.stats.mean.into()),
                                 ("min_s", b.stats.min.into()),
                                 ("max_s", b.stats.max.into()),

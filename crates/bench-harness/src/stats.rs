@@ -28,6 +28,41 @@ pub struct Stats {
     pub std_dev: f64,
     /// Total wall-clock seconds spent measuring (excluding warm-up).
     pub total_time: f64,
+    /// 50th percentile (equals the median up to interpolation convention).
+    pub p50: f64,
+    /// 95th percentile — the tail the serving figures gate on.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Stats {
+    /// The requested percentile of the measured samples, `q` in `[0, 100]`.
+    ///
+    /// Recomputing from the summary is impossible, so only the three stored
+    /// quantiles are exact; other values interpolate between them and the
+    /// extremes. Use [`percentile_sorted`] on the raw samples when exact
+    /// arbitrary quantiles matter.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+        if q <= 0.0 {
+            self.min
+        } else if q >= 100.0 {
+            self.max
+        } else if q < 50.0 {
+            lerp(self.min, self.p50, q / 50.0)
+        } else if q < 95.0 {
+            lerp(self.p50, self.p95, (q - 50.0) / 45.0)
+        } else if q <= 99.0 {
+            lerp(self.p95, self.p99, (q - 95.0) / 4.0)
+        } else {
+            lerp(self.p99, self.max, (q - 99.0) / 1.0)
+        }
+    }
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
 }
 
 /// Median of a sorted slice. Panics on an empty slice.
@@ -38,6 +73,23 @@ pub fn median_sorted(sorted: &[f64]) -> f64 {
         sorted[n / 2]
     } else {
         0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Percentile of a sorted slice with linear interpolation between order
+/// statistics (the "linear" / type-7 convention, matching numpy's default).
+/// `q` is in percent, `0.0..=100.0`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
     }
 }
 
@@ -70,6 +122,9 @@ pub fn compute(samples: &[f64], iters_per_sample: u64, total_time: f64) -> Stats
         max: sorted[sorted.len() - 1],
         std_dev: var.sqrt(),
         total_time,
+        p50: percentile_sorted(&sorted, 50.0),
+        p95: percentile_sorted(&sorted, 95.0),
+        p99: percentile_sorted(&sorted, 99.0),
     }
 }
 
@@ -119,6 +174,40 @@ mod tests {
         assert_eq!(s.max, 3.0);
         assert_eq!(s.total_time, 6.0);
         assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 100.0);
+        // Type-7: rank = q/100 * 99, so p50 lands halfway between 50 and 51.
+        assert!((percentile_sorted(&sorted, 50.0) - 50.5).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 95.0) - 95.05).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 99.0) - 99.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_matches_median_convention() {
+        // For the linear convention, p50 of a sorted set equals the median.
+        for n in 1..9 {
+            let sorted: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+            assert_eq!(percentile_sorted(&sorted, 50.0), median_sorted(&sorted));
+        }
+    }
+
+    #[test]
+    fn compute_carries_percentiles() {
+        let samples: Vec<f64> = (1..=20).rev().map(|i| i as f64).collect();
+        let s = compute(&samples, 1, 1.0);
+        assert_eq!(s.p50, s.median);
+        assert_eq!(s.percentile(50.0), s.p50);
+        assert_eq!(s.percentile(0.0), s.min);
+        assert_eq!(s.percentile(100.0), s.max);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        // Interpolated queries stay monotone between the stored quantiles.
+        assert!(s.percentile(75.0) >= s.p50 && s.percentile(75.0) <= s.p95);
+        assert!(s.percentile(97.0) >= s.p95 && s.percentile(97.0) <= s.p99);
     }
 
     #[test]

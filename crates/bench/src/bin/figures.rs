@@ -11,6 +11,7 @@
 //! figures --fig 7        # compilation cost breakdown (Fig. 7)
 //! figures --batched      # per-trial vs batched compiled execution
 //! figures --sweep        # sweep subsystem: serial vs sharded+batched
+//! figures --serve        # serving daemon: coalesced vs solo replay
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
 //!
@@ -111,8 +112,9 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 13] = [
-        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused", "tiers",
+    const FIGS: [&str; 14] = [
+        "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
+        "tiers", "serve",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -219,11 +221,22 @@ fn main() {
                 }
                 _ => fig = Some("tiers".to_string()),
             },
+            // Shorthand for `--fig serve`: the serving daemon under
+            // open-loop mixed-family load — coalesced throughput and
+            // latency percentiles vs a sequential solo replay.
+            "--serve" => match &fig {
+                Some(f) if f != "serve" => {
+                    eprintln!("error: --serve conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("serve".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers] \
-                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--full] [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve] \
+                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--full] \
+                     [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -323,6 +336,15 @@ fn main() {
         emit.figure("tiers", || {
             let (trials, samples) = if full { (300, 25) } else { (60, 11) };
             let r = bench::fig_tiers(trials, samples);
+            (r.render(), r.to_json())
+        });
+    }
+
+    if want("serve") {
+        emit.figure("serve", || {
+            let (requests, trials, clients, workers) =
+                if full { (200, 16, 8, 4) } else { (32, 6, 4, 2) };
+            let r = bench::fig_serve(requests, trials, clients, workers);
             (r.render(), r.to_json())
         });
     }

@@ -220,6 +220,36 @@ fn tiers_gate_fails_on_slow_divergent_or_unpromoted_paths() {
 }
 
 #[test]
+fn serve_gate_fails_on_slow_or_divergent_serving() {
+    let dir = tmpdir("servegate");
+    let serve = |speedup: f64, identical: bool| {
+        format!(
+            r#"{{"figures":[{{"figure":"serve","full_scale":false,"elapsed_s":1.0,
+               "data":{{"throughput_tps":800.0,"sequential_tps":820.0,
+                 "coalesce_speedup":{speedup},"all_identical":{identical}}}}}]}}"#
+        )
+    };
+    let base = write(&dir, "base.json", &serve(1.0, true));
+    let ok = write(&dir, "ok.json", &serve(0.95, true));
+    let slow = write(&dir, "slow.json", &serve(0.4, true));
+    let split = write(&dir, "split.json", &serve(1.1, false));
+    let (code, text) = diff(&[&base, &ok]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("serve throughput gate"), "{text}");
+    let (code, text) = diff(&[&base, &slow]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("below required"), "{text}");
+    let (code, text) = diff(&[&base, &split]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("coalesced serve response diverged"), "{text}");
+    // 0 disables the throughput gate (identity still enforced).
+    let (code, text) = diff(&[&base, &slow, "--min-serve-throughput", "0"]);
+    assert_eq!(code, 0, "{text}");
+    let (code, _) = diff(&[&base, &split, "--min-serve-throughput", "0"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
 fn scale_mismatch_is_refused() {
     let dir = tmpdir("scale");
     let base = write(&dir, "base.json", &figure_snapshot(1.0));

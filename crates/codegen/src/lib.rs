@@ -51,7 +51,11 @@ pub enum CompileMode {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy)]
+///
+/// Equality compares every knob; the serving-side artifact cache keys on it
+/// (via `distill::artifact_key`), so two configs compare equal exactly when
+/// they can share one compiled artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileConfig {
     /// Per-node vs whole-model compilation.
     pub mode: CompileMode,
@@ -102,7 +106,7 @@ impl std::error::Error for CodegenError {}
 
 /// Where every model entity lives in the generated module's globals
 /// ("strings become enums", §3.3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Layout {
     /// Offset of `(node, param name)` within `params_ro`.
     pub param_offsets: HashMap<(usize, String), usize>,
@@ -214,6 +218,92 @@ impl Layout {
             staging[k * stride..(k + 1) * stride].copy_from_slice(&flat[..stride]);
         }
         staging
+    }
+
+    /// A reusable [`StagingBuffer`] sized for `capacity` trials of this
+    /// layout's external-input stride.
+    pub fn staging_buffer(&self, capacity: usize) -> StagingBuffer {
+        let stride = self.ext_len;
+        StagingBuffer {
+            stride,
+            capacity,
+            bufs: [vec![0.0; capacity * stride], vec![0.0; capacity * stride]],
+            staged: [0, 0],
+            front: 0,
+        }
+    }
+}
+
+/// A double-buffered, allocation-free handle for `batch_ext` staging images.
+///
+/// [`Layout::stage_batch`] allocates a fresh image per chunk; a long-lived
+/// driver that stages thousands of chunks (the serving scheduler) instead
+/// keeps one `StagingBuffer` per worker and rotates two fixed buffers:
+/// [`StagingBuffer::stage`] writes the *next* chunk's image into the back
+/// buffer while the previously [published](StagingBuffer::publish) front
+/// image is still live (being copied into an engine's `batch_ext` global or
+/// read by in-flight bookkeeping), and `publish` then flips the pair. The
+/// staged bytes are identical to `stage_batch`'s — same cycling of `flats`
+/// by absolute trial index — so drivers switching to the reusable handle
+/// keep bit-identical results.
+#[derive(Debug, Clone)]
+pub struct StagingBuffer {
+    stride: usize,
+    capacity: usize,
+    bufs: [Vec<f64>; 2],
+    staged: [usize; 2],
+    front: usize,
+}
+
+impl StagingBuffer {
+    /// Trials the buffers can hold per staging.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots per trial (the layout's `ext_len`).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Stage `count` trials starting at absolute trial index `start` into
+    /// the back buffer, leaving the front image untouched.
+    ///
+    /// # Panics
+    /// Panics when `count` exceeds the capacity.
+    pub fn stage(&mut self, flats: &[Vec<f64>], start: usize, count: usize) {
+        assert!(
+            count <= self.capacity,
+            "staging {count} trials into a buffer of capacity {}",
+            self.capacity
+        );
+        let back = 1 - self.front;
+        let stride = self.stride;
+        self.staged[back] = count * stride;
+        if stride == 0 {
+            return;
+        }
+        let buf = &mut self.bufs[back];
+        if flats.is_empty() {
+            buf[..count * stride].fill(0.0);
+            return;
+        }
+        for k in 0..count {
+            let flat = &flats[(start + k) % flats.len()];
+            buf[k * stride..(k + 1) * stride].copy_from_slice(&flat[..stride]);
+        }
+    }
+
+    /// Flip the pair: the staged back buffer becomes the front image and is
+    /// returned.
+    pub fn publish(&mut self) -> &[f64] {
+        self.front = 1 - self.front;
+        self.front_image()
+    }
+
+    /// The most recently published image.
+    pub fn front_image(&self) -> &[f64] {
+        &self.bufs[self.front][..self.staged[self.front]]
     }
 }
 
@@ -1527,5 +1617,49 @@ mod tests {
         let o2_total: usize = o2.module.inst_count();
         assert!(o2_total <= o0_total);
         assert!(size(&o2) > 0);
+    }
+
+    #[test]
+    fn staging_buffer_matches_stage_batch() {
+        let mut layout = Layout::default();
+        layout.ext_offsets.insert(0, 0);
+        layout.ext_len = 3;
+        let flats = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mut buf = layout.staging_buffer(4);
+        assert_eq!(buf.capacity(), 4);
+        assert_eq!(buf.stride(), 3);
+        for (start, count) in [(0, 4), (3, 2), (7, 1), (2, 0)] {
+            buf.stage(&flats, start, count);
+            assert_eq!(buf.publish(), &layout.stage_batch(&flats, start, count)[..]);
+        }
+    }
+
+    #[test]
+    fn staging_buffer_keeps_front_while_staging_back() {
+        let mut layout = Layout::default();
+        layout.ext_offsets.insert(0, 0);
+        layout.ext_len = 1;
+        let flats = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let mut buf = layout.staging_buffer(2);
+        buf.stage(&flats, 0, 2);
+        let front: Vec<f64> = buf.publish().to_vec();
+        assert_eq!(front, vec![1.0, 2.0]);
+        // Staging the next chunk must not disturb the published image.
+        buf.stage(&flats, 2, 2);
+        assert_eq!(buf.front_image(), &front[..]);
+        assert_eq!(buf.publish(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn staging_buffer_zero_stride_and_empty_flats() {
+        let layout = Layout::default();
+        let mut buf = layout.staging_buffer(8);
+        buf.stage(&[], 0, 8);
+        assert!(buf.publish().is_empty());
+        let mut layout = Layout::default();
+        layout.ext_len = 2;
+        let mut buf = layout.staging_buffer(2);
+        buf.stage(&[], 0, 2);
+        assert_eq!(buf.publish(), &[0.0; 4]);
     }
 }

@@ -57,9 +57,14 @@ pub use distill_exec::{
 pub use distill_opt::OptLevel;
 pub use distill_pyvm::ExecMode;
 
+pub mod artifact;
 mod runner;
 mod session;
 
+pub use artifact::{
+    artifact_key, deserialize_artifact, read_artifact, serialize_artifact, write_artifact,
+    ArtifactError, ARTIFACT_VERSION,
+};
 pub use runner::{RunResult, RunSpec, Runner, ShardStats};
 pub use session::{Session, Target};
 

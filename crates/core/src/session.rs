@@ -126,6 +126,10 @@ impl Session {
     /// plain predecoded tier, `fuse(true)` the fused tier. Prefer
     /// [`Session::tier`], which also reaches the direct-threaded and
     /// adaptive policies.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Session::tier(TierPolicy::Fixed(Tier::Decoded | Tier::Fused)) instead"
+    )]
     #[must_use]
     pub fn fuse(self, fuse: bool) -> Session {
         use distill_exec::{Tier, TierPolicy};

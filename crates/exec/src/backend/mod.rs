@@ -147,10 +147,24 @@ impl TierPolicy {
     }
 
     /// Read [`TierPolicy::from_env_values`] from the process environment.
+    ///
+    /// When the deprecated `DISTILL_FUSE` alias is what decides the policy
+    /// (i.e. `DISTILL_TIER` is absent or unrecognized), a one-shot warning
+    /// on stderr points at the replacement spelling.
     pub fn from_env() -> Option<TierPolicy> {
         let tier = std::env::var("DISTILL_TIER").ok();
         let fuse = std::env::var("DISTILL_FUSE").ok();
-        TierPolicy::from_env_values(tier.as_deref(), fuse.as_deref())
+        let policy = TierPolicy::from_env_values(tier.as_deref(), fuse.as_deref());
+        if policy.is_some() && TierPolicy::from_env_values(tier.as_deref(), None).is_none() {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "distill: DISTILL_FUSE is deprecated; use \
+                     DISTILL_TIER=decoded|fused (or Session::tier) instead"
+                );
+            });
+        }
+        policy
     }
 
     /// Whether this policy needs the fusion pass to run at engine

@@ -62,6 +62,6 @@ pub mod verify;
 pub use builder::FunctionBuilder;
 pub use constant::Constant;
 pub use function::{BlockData, BlockId, Function, Terminator, ValueData, ValueId, ValueKind};
-pub use inst::{BinOp, CastKind, CmpPred, Inst, Intrinsic, UnOp};
+pub use inst::{BinOp, CastKind, CmpPred, GepIndex, Inst, Intrinsic, UnOp};
 pub use module::{FuncId, Global, GlobalId, Module};
 pub use types::Ty;

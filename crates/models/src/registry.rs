@@ -59,6 +59,11 @@ pub enum Tag {
     /// Measured by the execution-tier figure (`figures --tiers`): families
     /// whose interpreter-bound inner loops make dispatch overhead visible.
     TierAnchor,
+    /// Part of the default mixed-family load of the serving figure
+    /// (`figures --serve`) and the open-loop smoke: whole-model families
+    /// cheap enough per trial that request-level effects — coalescing,
+    /// queueing, cache reuse — dominate the measurement.
+    Serve,
 }
 
 /// A declaratively-registered workload family.
@@ -171,7 +176,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "vectorized_necker_cube",
         summary: "hand-vectorized 8-vertex bistable-perception model",
-        tags: &[Tag::Figure4, Tag::Sweep],
+        tags: &[Tag::Figure4, Tag::Sweep, Tag::Serve],
         targets: SERIAL_TARGETS,
         sweep_trials: (60, 400),
         build: b_vectorized_necker,
@@ -187,7 +192,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "necker_cube_8",
         summary: "8-vertex Necker cube, one leaky unit per vertex",
-        tags: &[Tag::Figure4, Tag::Sweep],
+        tags: &[Tag::Figure4, Tag::Sweep, Tag::Serve],
         targets: SERIAL_TARGETS,
         sweep_trials: (40, 240),
         build: b_necker_m,
@@ -195,7 +200,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "predator_prey_2",
         summary: "predator-prey S: grid-search attention controller, 8 evals/trial",
-        tags: &[Tag::Figure4, Tag::Scaling, Tag::Sweep, Tag::TierAnchor],
+        tags: &[Tag::Figure4, Tag::Scaling, Tag::Sweep, Tag::TierAnchor, Tag::Serve],
         targets: ALL_TARGETS,
         sweep_trials: (240, 2000),
         build: b_pp_s,
@@ -203,7 +208,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "botvinick_stroop",
         summary: "conflict-monitoring Stroop, 200 passes/trial",
-        tags: &[Tag::Figure4, Tag::Sweep],
+        tags: &[Tag::Figure4, Tag::Sweep, Tag::Serve],
         targets: SERIAL_TARGETS,
         sweep_trials: (16, 120),
         build: b_stroop,
@@ -279,6 +284,14 @@ pub fn by_tag(tag: Tag) -> Vec<&'static WorkloadSpec> {
 /// Look a family up by registry key.
 pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
     REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// The default mixed-family serving load (`figures --serve` and the
+/// open-loop smoke), in registry order: three serial whole-model families
+/// plus the grid-search predator-prey anchor, so coalesced traffic mixes
+/// cheap threshold-terminated trials with controller-heavy ones.
+pub fn serve_mix() -> Vec<&'static WorkloadSpec> {
+    by_tag(Tag::Serve)
 }
 
 /// The families the execution-tier figure measures, cost-skewed entries

@@ -1,0 +1,72 @@
+//! Bounded open-loop serving smoke: start a daemon, drive the registry's
+//! serve mix with concurrent clients, and verify a sample of responses
+//! bitwise against solo reruns. Exits non-zero on any mismatch, so CI can
+//! gate on it directly.
+
+use std::time::Duration;
+
+use distill_serve::{run_open_loop, ServeConfig, Server, TrafficConfig};
+
+fn main() {
+    let families: Vec<String> = distill_models::serve_mix()
+        .iter()
+        .map(|spec| spec.name.to_string())
+        .collect();
+    assert!(!families.is_empty(), "registry has no Tag::Serve families");
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        batch: 16,
+        ..ServeConfig::default()
+    });
+    let traffic = TrafficConfig {
+        families,
+        requests: 24,
+        trials_per_request: 6,
+        clients: 4,
+        arrival_interval: Duration::from_micros(100),
+    };
+    let report = run_open_loop(&server, &traffic).expect("open-loop run failed");
+    assert_eq!(report.requests, traffic.requests, "requests went missing");
+    assert_eq!(report.trials, traffic.requests * traffic.trials_per_request);
+
+    // Identity check: a concurrent burst per family (forcing coalesced
+    // spans) must match the same ranges rerun alone, bit for bit.
+    let mut checked = 0usize;
+    for family in &traffic.families {
+        let tickets: Vec<_> = (0..3)
+            .map(|_| {
+                server
+                    .submit(distill_serve::TrialRequest::new(family, 4))
+                    .expect("submit failed")
+            })
+            .collect();
+        for ticket in tickets {
+            let start = ticket.start();
+            let served = ticket.wait().expect("serve failed");
+            let solo = server.run_solo(family, start, 4).expect("solo rerun failed");
+            assert_eq!(
+                served.outputs, solo.outputs,
+                "coalesced response diverged from solo run for {family}"
+            );
+            assert_eq!(served.passes, solo.passes, "pass counts diverged for {family}");
+            checked += 1;
+        }
+    }
+
+    let stats = server.stats();
+    println!(
+        "serve smoke: {} requests ({} trials) in {:.3}s — {:.0} trials/s, \
+         {}/{} coalesced, {} spans ({} coalesced), {} batch calls, {} identity checks",
+        report.requests,
+        report.trials,
+        report.elapsed_s,
+        report.throughput_tps,
+        report.coalesced_requests,
+        report.requests,
+        stats.spans,
+        stats.coalesced_spans,
+        stats.batch_calls,
+        checked,
+    );
+}

@@ -1,0 +1,67 @@
+//! `distill-serve` — a long-lived serving daemon over the Distill runtime.
+//!
+//! The batch harnesses in `distill-bench` compile a model, run one workload
+//! and exit. This crate keeps the runtime resident instead, the way a
+//! cognitive-model service would deploy it, and adds the three pieces a
+//! daemon needs on top of `distill`'s one-shot [`Session`] API:
+//!
+//! * an **artifact cache** ([`cache::ArtifactCache`]) keyed by
+//!   `(family, CompileConfig)`: compiled artifacts are LRU-cached in memory
+//!   and optionally persisted with `distill`'s versioned on-disk codec, so a
+//!   restarted daemon reloads yesterday's artifacts instead of recompiling —
+//!   and rejects artifacts written by an older codec revision;
+//! * **concurrent client sessions** ([`server::ClientSession`]): any number
+//!   of clients share one `Arc`'d artifact per family and submit
+//!   [`server::TrialRequest`]s through a cheap cloneable handle;
+//! * a **coalescing scheduler** (see [`server`] module docs): trials from
+//!   independent requests to the same family are packed into shared
+//!   `trials_batch(start, count)` spans executed over the same
+//!   `ChunkQueue` substrate the offline sharded runner uses, then demuxed
+//!   back per request. Coalescing is *bit-transparent*: every response is
+//!   bitwise identical to the same request running alone on an idle server.
+//!
+//! The open-loop traffic generator in [`traffic`] drives a server the way
+//! the figures binary drives the offline harnesses, reporting throughput
+//! and latency percentiles (`figures --serve`).
+//!
+//! [`Session`]: distill::Session
+
+pub mod cache;
+pub mod server;
+pub mod traffic;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use server::{
+    ClientSession, ServeConfig, ServeStats, Server, Ticket, TrialRequest, TrialResponse,
+};
+pub use traffic::{run_open_loop, RequestRecord, TrafficConfig, TrafficReport};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The requested family is not in the workload registry.
+    UnknownFamily(String),
+    /// A request asked for zero trials.
+    EmptyRequest,
+    /// Compiling (or loading) the family's artifact failed, or the artifact
+    /// has no whole-model entry point for the scheduler to drive.
+    Build(String),
+    /// The server shut down while the request was queued or in flight.
+    Disconnected,
+    /// The execution engine failed while running a span.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownFamily(name) => write!(f, "unknown workload family `{name}`"),
+            ServeError::EmptyRequest => write!(f, "request asked for zero trials"),
+            ServeError::Build(msg) => write!(f, "artifact build failed: {msg}"),
+            ServeError::Disconnected => write!(f, "server shut down"),
+            ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

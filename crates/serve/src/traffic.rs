@@ -1,0 +1,203 @@
+//! Open-loop traffic generation against a [`Server`].
+//!
+//! Open-loop means arrivals follow a fixed schedule regardless of how fast
+//! the server answers: request `i` is submitted at `t0 + i * interval`,
+//! never gated on request `i - 1` completing. This is the honest way to
+//! measure a serving system — a closed loop (submit, wait, submit) lets a
+//! slow server throttle its own offered load and hide queueing delay,
+//! which is exactly the regime where cross-request coalescing matters.
+//!
+//! Reported latency is end-to-end from the *scheduled* arrival time: any
+//! submit-side slip (the generator falling behind its own schedule) is
+//! charged to the request on top of the server-side queue + execution
+//! time, so an overloaded run shows up as latency growth rather than being
+//! silently re-timed.
+
+use std::time::{Duration, Instant};
+
+use crate::server::{Server, TrialRequest};
+use crate::ServeError;
+
+/// Open-loop load description.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Families requests cycle through (round-robin by request index).
+    pub families: Vec<String>,
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Trials per request.
+    pub trials_per_request: usize,
+    /// Concurrent client sessions; request `i` goes to client
+    /// `i % clients`.
+    pub clients: usize,
+    /// Scheduled gap between consecutive arrivals (across all clients).
+    pub arrival_interval: Duration,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            families: vec!["necker_cube_3".to_string()],
+            requests: 32,
+            trials_per_request: 8,
+            clients: 4,
+            arrival_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Family the request ran.
+    pub family: String,
+    /// Absolute start index the server allocated.
+    pub start: usize,
+    /// Trials requested.
+    pub trials: usize,
+    /// End-to-end latency in seconds, from scheduled arrival to demux.
+    pub latency_s: f64,
+    /// Whether the request shared a span with another request.
+    pub coalesced: bool,
+}
+
+/// Aggregated open-loop run results.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Requests completed.
+    pub requests: usize,
+    /// Trials completed.
+    pub trials: usize,
+    /// Wall-clock seconds from first scheduled arrival to last response.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Completed trials per second.
+    pub throughput_tps: f64,
+    /// Per-request latencies in seconds, sorted ascending (feed to
+    /// `distill_bench_harness::percentile_sorted` for p50/p95/p99).
+    pub latencies_s: Vec<f64>,
+    /// Requests whose response was coalesced with another request's.
+    pub coalesced_requests: usize,
+    /// Per-request outcomes in submission order.
+    pub records: Vec<RequestRecord>,
+}
+
+/// Drive `server` with the configured open-loop load and collect the
+/// report. Blocks until every submitted request completes.
+///
+/// # Errors
+/// The first [`ServeError`] any request hits (submission or execution).
+pub fn run_open_loop(server: &Server, config: &TrafficConfig) -> Result<TrafficReport, ServeError> {
+    assert!(!config.families.is_empty(), "traffic needs at least one family");
+    assert!(config.clients > 0, "traffic needs at least one client");
+    // Compile every lane up front so the measurement is steady-state
+    // serving, not first-request compilation.
+    for family in &config.families {
+        server.run_solo(family, 0, 1)?;
+    }
+
+    let clients = config.clients.min(config.requests.max(1));
+    let t0 = Instant::now();
+    let results: Vec<Result<Vec<(usize, RequestRecord)>, ServeError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let session = server.client();
+                    let config = &*config;
+                    scope.spawn(move || {
+                        let mut tickets = Vec::new();
+                        for i in (c..config.requests).step_by(clients) {
+                            let scheduled = t0 + config.arrival_interval * i as u32;
+                            while Instant::now() < scheduled {
+                                std::thread::sleep(
+                                    scheduled.saturating_duration_since(Instant::now()),
+                                );
+                            }
+                            let slip = scheduled.elapsed();
+                            let family = &config.families[i % config.families.len()];
+                            let ticket = session
+                                .submit(TrialRequest::new(family, config.trials_per_request))?;
+                            tickets.push((i, slip, ticket));
+                        }
+                        // Open loop: wait only after the client's whole
+                        // schedule is submitted.
+                        let mut records = Vec::with_capacity(tickets.len());
+                        for (i, slip, ticket) in tickets {
+                            let response = ticket.wait()?;
+                            records.push((
+                                i,
+                                RequestRecord {
+                                    family: response.family.clone(),
+                                    start: response.start,
+                                    trials: response.outputs.len(),
+                                    latency_s: (slip + response.latency).as_secs_f64(),
+                                    coalesced: response.coalesced,
+                                },
+                            ));
+                        }
+                        Ok(records)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("traffic client panicked"))
+                .collect()
+        });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut records_by_index = Vec::new();
+    for r in results {
+        records_by_index.extend(r?);
+    }
+    records_by_index.sort_by_key(|(i, _)| *i);
+    let records: Vec<RequestRecord> = records_by_index.into_iter().map(|(_, r)| r).collect();
+    let trials: usize = records.iter().map(|r| r.trials).sum();
+    let coalesced_requests = records.iter().filter(|r| r.coalesced).count();
+    let mut latencies_s: Vec<f64> = records.iter().map(|r| r.latency_s).collect();
+    latencies_s.sort_by(|a, b| a.total_cmp(b));
+    Ok(TrafficReport {
+        requests: records.len(),
+        trials,
+        elapsed_s,
+        throughput_rps: records.len() as f64 / elapsed_s.max(1e-12),
+        throughput_tps: trials as f64 / elapsed_s.max(1e-12),
+        latencies_s,
+        coalesced_requests,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+
+    #[test]
+    fn open_loop_completes_and_aggregates() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            batch: 4,
+            ..ServeConfig::default()
+        });
+        let config = TrafficConfig {
+            families: vec!["necker_cube_3".into(), "necker_cube_8".into()],
+            requests: 10,
+            trials_per_request: 3,
+            clients: 3,
+            arrival_interval: Duration::from_micros(50),
+        };
+        let report = run_open_loop(&server, &config).unwrap();
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.trials, 30);
+        assert_eq!(report.latencies_s.len(), 10);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.latencies_s.windows(2).all(|w| w[0] <= w[1]));
+        // Every record is bit-identical to its solo rerun.
+        for r in &report.records {
+            let solo = server.run_solo(&r.family, r.start, r.trials).unwrap();
+            assert_eq!(solo.outputs.len(), r.trials);
+        }
+    }
+}

@@ -198,7 +198,10 @@ fn fusion_knob_is_a_pure_performance_switch() {
     let w = predator_prey_s();
     let spec = RunSpec::new(w.inputs.clone(), 4);
     let mut fused = Session::new(&w.model).build().unwrap();
-    let mut unfused = Session::new(&w.model).fuse(false).build().unwrap();
+    let mut unfused = Session::new(&w.model)
+        .tier(distill::TierPolicy::Fixed(distill::Tier::Decoded))
+        .build()
+        .unwrap();
     let a = fused.run(&spec).unwrap();
     let b = unfused.run(&spec).unwrap();
     assert_eq!(a.outputs, b.outputs);
