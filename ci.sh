@@ -34,14 +34,22 @@ echo "== serving smoke (bounded open-loop run, served-vs-solo bit-identity)"
 # responses bitwise against solo reruns; exits non-zero on any mismatch.
 cargo run --release -p distill-serve --example open_loop_smoke
 
-echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve figures, JSON to bench_results/)"
+echo "== distributed sweep smoke (2 worker processes, injected kill, bitwise vs serial)"
+# Spawns a coordinator plus two true worker processes over local sockets,
+# kills one worker mid-sweep via the seeded fault plan, and requires the
+# merged result to be bitwise identical to a serial run with the killed
+# worker's lease visibly re-issued; exits non-zero otherwise.
+cargo run --release -p distill-sweep --example dsweep_smoke
+
+echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve + dsweep figures, JSON to bench_results/)"
 # The default run covers every figure, including `sweep` — the reduced
 # registry sweep (serial vs sharded+batched per family, bit-identity
 # verified) — `fused` (the superinstruction path vs the unfused predecoded
 # interpreter), `tiers` (direct-threaded dispatch vs the fused
-# interpreter, plus the adaptive tier-up probe) and `serve` (the serving
-# daemon's coalesced throughput vs sequential solo replay), all of which
-# the gates below read.
+# interpreter, plus the adaptive tier-up probe), `serve` (the serving
+# daemon's coalesced throughput vs sequential solo replay) and `dsweep`
+# (the distributed sweep with a seeded worker kill vs serial), all of
+# which the gates below read.
 cargo run --release -p distill-bench --bin figures
 
 echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run)"
@@ -60,7 +68,10 @@ echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run
 # speedup (>= 1.5x over per-trial multicore grid search), the serving
 # daemon's throughput bound (coalesced serving >= 0.75x of sequential solo
 # replay — an overhead bound, not a speedup gate, so it holds on
-# single-core runners) and the sweep's and serve's bit-identity flags.
+# single-core runners), the distributed sweep's recovery gate (clean and
+# kill-faulted runs bit-identical to serial, >= 1 lease re-issued, fault
+# wall-clock within 6x of clean) and the sweep's and serve's bit-identity
+# flags.
 # The committed baseline records absolute timings from one machine; when
 # this gate moves to a much slower host, refresh the snapshot once with
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
@@ -73,6 +84,7 @@ cargo run --release -p distill-bench --bin bench-diff -- \
   bench_results/baseline/figures.json bench_results/figures.json \
   --threshold 1.5 --min-seconds 0.1 \
   --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15 \
-  --min-threaded-speedup 1.05 --min-serve-throughput 0.75
+  --min-threaded-speedup 1.05 --min-serve-throughput 0.75 \
+  --max-dsweep-overhead 6.0
 
 echo "CI OK"

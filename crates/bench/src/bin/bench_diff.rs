@@ -29,6 +29,13 @@
 //!                           on serving overhead: single-core containers
 //!                           cap the ratio near 1.0, multi-core machines
 //!                           push it well past it.
+//!   --max-dsweep-overhead X upper bound on the `dsweep` figure's
+//!                           `recovery_overhead` (faulted wall-clock over
+//!                           clean wall-clock; default 6.0; 0 disables).
+//!                           The dsweep identity flags and the
+//!                           recovery-was-exercised check (a worker death
+//!                           and >= 1 re-issued lease whenever workers
+//!                           actually connected) are unconditional.
 //! ```
 //!
 //! Each input is one of:
@@ -73,13 +80,15 @@ struct Options {
     min_fused_speedup: f64,
     min_threaded_speedup: f64,
     min_serve_throughput: f64,
+    max_dsweep_overhead: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
          [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X] \
-         [--min-fused-speedup X] [--min-threaded-speedup X] [--min-serve-throughput X]"
+         [--min-fused-speedup X] [--min-threaded-speedup X] [--min-serve-throughput X] \
+         [--max-dsweep-overhead X]"
     );
     exit(2);
 }
@@ -96,6 +105,7 @@ fn parse_args() -> Options {
         min_fused_speedup: 1.15,
         min_threaded_speedup: 1.05,
         min_serve_throughput: 0.75,
+        max_dsweep_overhead: 6.0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -115,6 +125,7 @@ fn parse_args() -> Options {
             "--min-fused-speedup" => opts.min_fused_speedup = flag_value(&mut i),
             "--min-threaded-speedup" => opts.min_threaded_speedup = flag_value(&mut i),
             "--min-serve-throughput" => opts.min_serve_throughput = flag_value(&mut i),
+            "--max-dsweep-overhead" => opts.max_dsweep_overhead = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
             other => opts.paths.push(other.to_string()),
         }
@@ -479,6 +490,48 @@ fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
         }
         if stat(serve, &["all_identical"]).and_then(Json::as_bool) == Some(false) {
             v.fail("a coalesced serve response diverged from its solo run".to_string());
+        }
+    }
+    if let Some(dsweep) = find(&newest.figures, "figure", "dsweep") {
+        // Bit-identity is the distributed sweep's whole contract — both the
+        // clean topology and the kill-faulted one must match serial exactly,
+        // and the faulted run must actually have exercised recovery (unless
+        // the coordinator degraded to the pure in-process path, where there
+        // is no worker to kill).
+        for (key, what) in [
+            ("clean_identical", "clean distributed sweep"),
+            ("fault_identical", "kill-faulted distributed sweep"),
+        ] {
+            if stat(dsweep, &[key]).and_then(Json::as_bool) == Some(false) {
+                v.fail(format!("{what} diverged from the serial run"));
+            }
+        }
+        let mode = stat(dsweep, &["fault_mode"]).and_then(Json::as_str);
+        if mode != Some("in-process") {
+            if stat(dsweep, &["worker_deaths"]).and_then(Json::as_f64) == Some(0.0) {
+                v.fail("dsweep fault run observed no worker death".to_string());
+            }
+            match stat(dsweep, &["reissued"]).and_then(Json::as_f64) {
+                Some(r) if r >= 1.0 => v.note(format!(
+                    "{:<38} {r:.0} lease(s) re-issued  ok",
+                    "dsweep recovery gate"
+                )),
+                Some(_) => v.fail("dsweep fault run re-issued no leases".to_string()),
+                None => v.fail("dsweep record lacks reissued".to_string()),
+            }
+        }
+        if opts.max_dsweep_overhead > 0.0 {
+            match stat(dsweep, &["recovery_overhead"]).and_then(Json::as_f64) {
+                Some(o) if o <= opts.max_dsweep_overhead => v.note(format!(
+                    "{:<38} x{o:.3} (<= x{:.1})  ok",
+                    "dsweep recovery overhead gate", opts.max_dsweep_overhead
+                )),
+                Some(o) => v.fail(format!(
+                    "dsweep recovery overhead x{o:.3} above allowed x{:.1}",
+                    opts.max_dsweep_overhead
+                )),
+                None => v.fail("dsweep record lacks recovery_overhead".to_string()),
+            }
         }
     }
     if let Some(sweep) = find(&newest.figures, "figure", "sweep") {

@@ -12,6 +12,7 @@
 //! figures --batched      # per-trial vs batched compiled execution
 //! figures --sweep        # sweep subsystem: serial vs sharded+batched
 //! figures --serve        # serving daemon: coalesced vs solo replay
+//! figures --dsweep       # distributed sweep: lease recovery vs serial
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
 //!
@@ -112,9 +113,9 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 14] = [
+    const FIGS: [&str; 15] = [
         "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
-        "tiers", "serve",
+        "tiers", "serve", "dsweep",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -231,12 +232,22 @@ fn main() {
                 }
                 _ => fig = Some("serve".to_string()),
             },
+            // Shorthand for `--fig dsweep`: the distributed fault-tolerant
+            // sweep — serial vs coordinator+workers, clean and with a
+            // seeded worker kill, bit-identity and recovery overhead.
+            "--dsweep" => match &fig {
+                Some(f) if f != "dsweep" => {
+                    eprintln!("error: --dsweep conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("dsweep".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve] \
-                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--full] \
-                     [--out DIR]"
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve|dsweep] \
+                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--dsweep] \
+                     [--full] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -345,6 +356,14 @@ fn main() {
             let (requests, trials, clients, workers) =
                 if full { (200, 16, 8, 4) } else { (32, 6, 4, 2) };
             let r = bench::fig_serve(requests, trials, clients, workers);
+            (r.render(), r.to_json())
+        });
+    }
+
+    if want("dsweep") {
+        emit.figure("dsweep", || {
+            let (trials, workers, threads) = if full { (480, 4, 2) } else { (96, 2, 2) };
+            let r = bench::fig_dsweep(trials, workers, threads);
             (r.render(), r.to_json())
         });
     }

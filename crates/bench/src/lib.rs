@@ -19,7 +19,10 @@ use distill_models::{
     botvinick_stroop, extended_stroop_a, extended_stroop_b, figure4_models, multitasking,
     predator_prey, predator_prey_s, registry, Scale, Tag, Workload,
 };
-use distill_sweep::{anchor_comparison, default_threads, run_sweep, SweepConfig, SweepReport};
+use distill_sweep::{
+    anchor_comparison, default_threads, dsweep_family, outputs_bits_equal, run_sweep,
+    DsweepConfig, FaultPlan, SweepConfig, SweepReport, WorkerMode, ANCHOR_FAMILY,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -779,7 +782,7 @@ fn ab_trial_comparison(
 /// isolates the PR 3 predecode win (its ≥ 2x CI gate must track that layer
 /// alone), while the fusion layer's win is measured separately by
 /// [`fig_fused`]. Pinning also keeps the measurement independent of the
-/// `DISTILL_FUSE` environment.
+/// `DISTILL_TIER` environment.
 pub fn fig_interp(trials: usize, samples: usize) -> InterpReport {
     let w = predator_prey_s();
     let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
@@ -937,7 +940,7 @@ fn fused_workload(spec_name: &str, trials: usize, samples: usize) -> FusedWorklo
     let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
     // Two engines over the same module: one runs the fused fast path, the
     // other the retained unfused predecoded path. Both sides are pinned
-    // explicitly — an inherited DISTILL_TIER/DISTILL_FUSE must not turn this
+    // explicitly — an inherited DISTILL_TIER must not turn this
     // A/B into decoded-vs-decoded (and the decoded side skips the unused
     // fuse pass).
     let mut fused = Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Fused));
@@ -1730,6 +1733,160 @@ pub fn fig_serve(
     }
 }
 
+/// `figures --dsweep`: the distributed fault-tolerant sweep — serial vs a
+/// clean coordinator+workers run vs the same topology with a seeded worker
+/// kill, on the anchor family. The datapoint of record is bit-identity at
+/// every row plus the fault run's recovery overhead.
+#[derive(Debug, Clone)]
+pub struct DsweepFigure {
+    /// Anchor family the comparison runs on.
+    pub family: String,
+    /// Trials per run.
+    pub trials: usize,
+    /// Worker count requested for both distributed runs.
+    pub workers: usize,
+    /// Shard threads per worker.
+    pub threads: usize,
+    /// Trials per lease window.
+    pub lease_trials: usize,
+    /// Serial single-process wall-clock, seconds.
+    pub serial_s: f64,
+    /// Clean (fault-free) distributed wall-clock, seconds.
+    pub clean_s: f64,
+    /// Distributed wall-clock with the seeded kill injected, seconds.
+    pub fault_s: f64,
+    /// `fault_s / clean_s` — what one worker death costs end to end.
+    pub recovery_overhead: f64,
+    /// Clean run bit-identical to serial.
+    pub clean_identical: bool,
+    /// Faulted run bit-identical to serial.
+    pub fault_identical: bool,
+    /// Leases carved per distributed run.
+    pub leases: usize,
+    /// Leases re-issued in the faulted run (0 in a clean run by definition).
+    pub reissued: u64,
+    /// Worker deaths observed in the faulted run.
+    pub worker_deaths: u64,
+    /// Stale-epoch results fenced in the faulted run.
+    pub fenced_stale: u64,
+    /// Topology label of the faulted run (`process`, `thread`, suffixed
+    /// `+fallback` when the coordinator finished leases in-process).
+    pub fault_mode: String,
+}
+
+impl DsweepFigure {
+    /// Render the distributed-sweep comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Dsweep: distributed fault-tolerant sweep on {} ({} trials, {} workers x {} threads, {}-trial leases)",
+            self.family, self.trials, self.workers, self.threads, self.lease_trials
+        );
+        let _ = writeln!(out, "  {:<28} {:>9.4} s", "serial", self.serial_s);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9.4} s   identical: {}",
+            "distributed (clean)", self.clean_s, self.clean_identical
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9.4} s   identical: {}   mode: {}",
+            "distributed (worker killed)", self.fault_s, self.fault_identical, self.fault_mode
+        );
+        let _ = writeln!(
+            out,
+            "  recovery: x{:.3} overhead, {} of {} leases re-issued, {} deaths, {} stale fenced",
+            self.recovery_overhead,
+            self.reissued,
+            self.leases,
+            self.worker_deaths,
+            self.fenced_stale
+        );
+        out
+    }
+
+    /// The figure as a JSON object (consumed by `bench-diff`'s dsweep gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("family", Json::str(&self.family)),
+            ("trials", self.trials.into()),
+            ("workers", self.workers.into()),
+            ("threads", self.threads.into()),
+            ("lease_trials", self.lease_trials.into()),
+            ("serial_s", self.serial_s.into()),
+            ("clean_s", self.clean_s.into()),
+            ("fault_s", self.fault_s.into()),
+            ("recovery_overhead", self.recovery_overhead.into()),
+            ("clean_identical", self.clean_identical.into()),
+            ("fault_identical", self.fault_identical.into()),
+            ("leases", self.leases.into()),
+            ("reissued", self.reissued.into()),
+            ("worker_deaths", self.worker_deaths.into()),
+            ("fenced_stale", self.fenced_stale.into()),
+            ("fault_mode", Json::str(&self.fault_mode)),
+        ])
+    }
+}
+
+/// Run the serial reference, a clean distributed sweep, and a kill-faulted
+/// distributed sweep on the anchor family, comparing all three bitwise.
+/// The seeded kill takes a worker down after its first completed lease, so
+/// the faulted run always exercises death detection + lease re-issue.
+pub fn fig_dsweep(trials: usize, workers: usize, threads: usize) -> DsweepFigure {
+    let lease_trials = (trials / (workers * 3).max(1)).max(2);
+    let spec = registry::by_name(ANCHOR_FAMILY).expect("anchor family registered");
+    let w = spec.build(Scale::Reduced);
+
+    let start = Instant::now();
+    let serial = Session::new(&w.model)
+        .build()
+        .expect("serial session builds")
+        .run(&RunSpec::new(w.inputs.clone(), trials))
+        .expect("serial run");
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let base = DsweepConfig {
+        workers,
+        threads,
+        batch: 8,
+        lease_trials,
+        trials: Some(trials),
+        mode: WorkerMode::Auto,
+        ..DsweepConfig::default()
+    };
+    let clean = dsweep_family(ANCHOR_FAMILY, &base).expect("clean dsweep");
+    let fault = dsweep_family(
+        ANCHOR_FAMILY,
+        &DsweepConfig {
+            faults: FaultPlan::seeded(0xD5EE9, workers),
+            ..base.clone()
+        },
+    )
+    .expect("faulted dsweep");
+
+    DsweepFigure {
+        family: ANCHOR_FAMILY.to_string(),
+        trials,
+        workers,
+        threads,
+        lease_trials,
+        serial_s,
+        clean_s: clean.elapsed_s,
+        fault_s: fault.elapsed_s,
+        recovery_overhead: fault.elapsed_s / clean.elapsed_s.max(1e-12),
+        clean_identical: outputs_bits_equal(&serial.outputs, &clean.outputs)
+            && serial.passes == clean.passes,
+        fault_identical: outputs_bits_equal(&serial.outputs, &fault.outputs)
+            && serial.passes == fault.passes,
+        leases: fault.leases,
+        reissued: fault.reissued,
+        worker_deaths: fault.worker_deaths,
+        fenced_stale: fault.fenced_stale,
+        fault_mode: fault.mode,
+    }
+}
+
 /// One refinement round of [`Fig2Report`].
 #[derive(Debug, Clone)]
 pub struct Fig2Step {
@@ -2059,6 +2216,25 @@ mod tests {
         let text = r.render();
         assert!(text.contains("sharded + batched"));
         assert!(text.contains("registry sweep"));
+    }
+
+    #[test]
+    fn dsweep_figure_recovers_bit_identically() {
+        let r = fig_dsweep(24, 2, 1);
+        assert!(r.clean_identical, "clean distributed run must match serial");
+        assert!(r.fault_identical, "kill-faulted run must match serial");
+        assert_eq!(r.leases, 24usize.div_ceil(r.lease_trials));
+        if r.fault_mode != "in-process" {
+            assert!(r.worker_deaths >= 1, "seeded kill must land: {r:?}");
+            assert!(r.reissued >= 1, "recovery must re-issue a lease: {r:?}");
+        }
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"clean_identical\":true"));
+        assert!(json.contains("\"fault_identical\":true"));
+        assert!(json.contains("\"recovery_overhead\":"));
+        let text = r.render();
+        assert!(text.contains("distributed (worker killed)"));
+        assert!(text.contains("re-issued"));
     }
 
     #[test]

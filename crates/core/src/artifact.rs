@@ -1107,6 +1107,43 @@ mod tests {
     }
 
     #[test]
+    fn corruption_sweep_yields_typed_errors_never_panics() {
+        // Truncate at every prefix length and bit-flip on a stride across
+        // the whole buffer: decoding must always return either a valid
+        // artifact or a typed error — no panic, no partial state escaping.
+        // This is the property the distributed sweep and the serving cache
+        // lean on when artifacts cross process and disk boundaries.
+        let clean = serialize_artifact(&compiled());
+        for cut in (0..clean.len()).step_by(97).chain([clean.len() - 1]) {
+            let r = std::panic::catch_unwind(|| deserialize_artifact(&clean[..cut]));
+            let decoded = r.unwrap_or_else(|_| panic!("panicked on truncation at {cut}"));
+            assert!(decoded.is_err(), "truncation at {cut} must not decode");
+        }
+        for i in (0..clean.len()).step_by(53) {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x08;
+            let r = std::panic::catch_unwind(|| deserialize_artifact(&bad));
+            // A flip may land in a don't-care byte and still decode; what is
+            // forbidden is panicking.
+            assert!(r.is_ok(), "panicked on bit flip at {i}");
+        }
+
+        // The same guarantees through the file path `read_artifact` takes.
+        let dir =
+            std::env::temp_dir().join(format!("distill-artifact-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.dstl");
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(matches!(read_artifact(&path), Err(ArtifactError::Corrupt(_))));
+        let mut flipped = clean.clone();
+        let mid = clean.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        let _ = read_artifact(&path); // typed result either way, proven above
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn artifact_key_separates_configs() {
         let base = CompileConfig::default();
         let mut other = base;

@@ -41,6 +41,14 @@ pub struct RunSpec {
     /// whose state persists across trials — run serially regardless; results
     /// are identical either way.
     pub shards: usize,
+    /// First absolute trial index of this run (default 0). A distributed
+    /// worker holding a lease over `[offset, offset + trials)` of a larger
+    /// trial space sets this so per-trial PRNG streams and input cycling are
+    /// derived from the *global* trial index — the property that makes its
+    /// outputs bitwise identical to the same window of a serial run. The
+    /// baseline interpreter has no random-access trial path and rejects a
+    /// non-zero offset.
+    pub offset: usize,
 }
 
 impl RunSpec {
@@ -51,6 +59,7 @@ impl RunSpec {
             trials,
             batch: 1,
             shards: 1,
+            offset: 0,
         }
     }
 
@@ -65,6 +74,14 @@ impl RunSpec {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> RunSpec {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the first absolute trial index (for leased windows of a larger
+    /// trial space — see the field docs).
+    #[must_use]
+    pub fn with_offset(mut self, offset: usize) -> RunSpec {
+        self.offset = offset;
         self
     }
 }
@@ -86,6 +103,22 @@ pub struct ShardStats {
     /// sweep reports attribute work to the trial space that produced it
     /// rather than to engine lifetimes.
     pub stats: distill_exec::EngineStats,
+}
+
+impl ShardStats {
+    /// Fold another shard's statistics into this one: additive counters
+    /// (chunks, steals, engine stats) are summed; topology descriptors
+    /// (threads, batch) take the maximum, since merged stats describe work
+    /// drained by heterogeneous workers rather than one queue. This is how
+    /// the distributed sweep coordinator accumulates per-lease stats into
+    /// one sweep-level view.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.threads = self.threads.max(other.threads);
+        self.batch = self.batch.max(other.batch);
+        self.chunks += other.chunks;
+        self.steals += other.steals;
+        self.stats.add(&other.stats);
+    }
 }
 
 /// Results of a run, uniform across backends.
@@ -200,6 +233,13 @@ pub(crate) struct BaselineBackend {
 impl Runner for BaselineBackend {
     fn run(&mut self, spec: &RunSpec) -> Result<RunResult, DistillError> {
         validate_spec(&self.model, spec)?;
+        if spec.offset > 0 {
+            return Err(DistillError::Driver(
+                "the baseline interpreter cannot run an offset trial window: it executes \
+                 trials sequentially from 0 and has no random-access trial path"
+                    .into(),
+            ));
+        }
         if spec.trials == 0 {
             return Ok(RunResult::with_capacity(0));
         }
@@ -255,9 +295,8 @@ pub(crate) struct CompiledDriver {
 impl CompiledDriver {
     pub(crate) fn new(compiled: CompiledModel, model: Composition) -> CompiledDriver {
         // The session's tier policy decides which execution form the engine
-        // runs; a `DISTILL_TIER` (or deprecated `DISTILL_FUSE`) environment
-        // request wins over it, so a whole-process A/B can be forced without
-        // touching call sites.
+        // runs; a `DISTILL_TIER` environment request wins over it, so a
+        // whole-process A/B can be forced without touching call sites.
         let policy = distill_exec::TierPolicy::from_env().unwrap_or(compiled.config.tier);
         let engine = Engine::with_config(
             compiled.module.clone(),
@@ -378,7 +417,7 @@ impl CompiledDriver {
                 batch_fn,
                 trial_fn,
                 flats,
-                done,
+                spec.offset + done,
                 n,
             )?;
             result.outputs.extend(outs);
@@ -446,7 +485,7 @@ impl CompiledDriver {
                                     batch_fn,
                                     trial_fn,
                                     flats,
-                                    lo,
+                                    spec.offset + lo,
                                     n,
                                 )?;
                                 mine.push((c, outs, passes));
@@ -457,7 +496,19 @@ impl CompiledDriver {
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .map(|h| {
+                        // A panicking worker is a driver error, not a
+                        // propagated unwind: the caller gets a typed
+                        // `DistillError` and every other worker's handle is
+                        // still joined (scope exit), so no thread leaks and
+                        // no partial result is silently returned.
+                        h.join().unwrap_or_else(|p| {
+                            Err(DistillError::Driver(format!(
+                                "shard worker panicked: {}",
+                                distill_exec::panic_message(&*p)
+                            )))
+                        })
+                    })
                     .collect()
             });
 
@@ -516,7 +567,11 @@ impl CompiledDriver {
             .topological_order()
             .map_err(|e| DistillError::Driver(e.to_string()))?;
         let mut result = RunResult::with_capacity(spec.trials);
-        for trial in 0..spec.trials {
+        for local in 0..spec.trials {
+            // Absolute trial index: PRNG streams and input cycling key off
+            // it, so an offset window reproduces the same slice of a full
+            // serial run.
+            let trial = spec.offset + local;
             self.engine
                 .write_global_f64(gn::EXT_INPUT, &flats[trial % flats.len()])?;
             // Reset read-write structures, exactly like the trial prologue.
@@ -663,6 +718,7 @@ fn run_trial_chunk(
     n: usize,
 ) -> Result<(Vec<Vec<f64>>, Vec<u64>), DistillError> {
     let out_len = layout.trial_output_len;
+    crate::test_hooks::check_panic_trial(lo, n);
     let mut outs = Vec::with_capacity(n);
     let mut passes = Vec::with_capacity(n);
     match batch_fn {

@@ -111,29 +111,14 @@ impl Session {
     /// uses — see [`distill_exec::TierPolicy`]. Defaults to the fused
     /// interpreter.
     ///
-    /// The `DISTILL_TIER` environment override (and its deprecated
-    /// `DISTILL_FUSE` alias) wins over an explicit policy: when the
-    /// environment requests a tier, every runner of the process uses it
-    /// regardless of this knob, so a whole A/B sweep can be forced without
-    /// touching call sites.
+    /// The `DISTILL_TIER` environment override wins over an explicit
+    /// policy: when the environment requests a tier, every runner of the
+    /// process uses it regardless of this knob, so a whole A/B sweep can be
+    /// forced without touching call sites.
     #[must_use]
     pub fn tier(mut self, policy: distill_exec::TierPolicy) -> Session {
         self.config.tier = policy;
         self
-    }
-
-    /// Legacy spelling of the PR 5 fusion knob: `fuse(false)` selects the
-    /// plain predecoded tier, `fuse(true)` the fused tier. Prefer
-    /// [`Session::tier`], which also reaches the direct-threaded and
-    /// adaptive policies.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Session::tier(TierPolicy::Fixed(Tier::Decoded | Tier::Fused)) instead"
-    )]
-    #[must_use]
-    pub fn fuse(self, fuse: bool) -> Session {
-        use distill_exec::{Tier, TierPolicy};
-        self.tier(TierPolicy::Fixed(if fuse { Tier::Fused } else { Tier::Decoded }))
     }
 
     /// Replace the whole compile configuration at once.

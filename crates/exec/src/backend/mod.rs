@@ -111,60 +111,25 @@ impl TierPolicy {
         }
     }
 
-    /// Interpret the `DISTILL_TIER` / `DISTILL_FUSE` environment values as
-    /// an explicit policy request. `DISTILL_TIER` accepts the five tier
-    /// spellings (any casing); it wins over `DISTILL_FUSE`, which is kept as
-    /// a **deprecated** alias — `DISTILL_FUSE=0|off|false|no` means
-    /// `Fixed(Decoded)`, any other set value means `Fixed(Fused)`. Empty and
+    /// Interpret a `DISTILL_TIER` environment value as an explicit policy
+    /// request. Accepts the five tier spellings (any casing). Empty and
     /// unrecognized values count as unset, so a typo degrades to the default
     /// rather than silently changing semantics per call site. Returns `None`
-    /// when neither variable requests anything.
-    pub fn from_env_values(tier: Option<&str>, fuse: Option<&str>) -> Option<TierPolicy> {
-        if let Some(v) = tier {
-            match v.trim().to_ascii_lowercase().as_str() {
-                "reference" => return Some(TierPolicy::Fixed(Tier::Reference)),
-                "decoded" => return Some(TierPolicy::Fixed(Tier::Decoded)),
-                "fused" => return Some(TierPolicy::Fixed(Tier::Fused)),
-                "threaded" => return Some(TierPolicy::Fixed(Tier::Threaded)),
-                "adaptive" => return Some(TierPolicy::adaptive()),
-                _ => {}
-            }
+    /// when the value requests nothing.
+    pub fn from_env_values(tier: Option<&str>) -> Option<TierPolicy> {
+        match tier?.trim().to_ascii_lowercase().as_str() {
+            "reference" => Some(TierPolicy::Fixed(Tier::Reference)),
+            "decoded" => Some(TierPolicy::Fixed(Tier::Decoded)),
+            "fused" => Some(TierPolicy::Fixed(Tier::Fused)),
+            "threaded" => Some(TierPolicy::Fixed(Tier::Threaded)),
+            "adaptive" => Some(TierPolicy::adaptive()),
+            _ => None,
         }
-        if let Some(v) = fuse {
-            if v.is_empty() {
-                return None;
-            }
-            return Some(if matches!(
-                v.to_ascii_lowercase().as_str(),
-                "0" | "off" | "false" | "no"
-            ) {
-                TierPolicy::Fixed(Tier::Decoded)
-            } else {
-                TierPolicy::Fixed(Tier::Fused)
-            });
-        }
-        None
     }
 
     /// Read [`TierPolicy::from_env_values`] from the process environment.
-    ///
-    /// When the deprecated `DISTILL_FUSE` alias is what decides the policy
-    /// (i.e. `DISTILL_TIER` is absent or unrecognized), a one-shot warning
-    /// on stderr points at the replacement spelling.
     pub fn from_env() -> Option<TierPolicy> {
-        let tier = std::env::var("DISTILL_TIER").ok();
-        let fuse = std::env::var("DISTILL_FUSE").ok();
-        let policy = TierPolicy::from_env_values(tier.as_deref(), fuse.as_deref());
-        if policy.is_some() && TierPolicy::from_env_values(tier.as_deref(), None).is_none() {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "distill: DISTILL_FUSE is deprecated; use \
-                     DISTILL_TIER=decoded|fused (or Session::tier) instead"
-                );
-            });
-        }
-        policy
+        TierPolicy::from_env_values(std::env::var("DISTILL_TIER").ok().as_deref())
     }
 
     /// Whether this policy needs the fusion pass to run at engine
@@ -417,52 +382,22 @@ mod tests {
             (" fused ", Tier::Fused),
         ] {
             assert_eq!(
-                TierPolicy::from_env_values(Some(spelling), None),
+                TierPolicy::from_env_values(Some(spelling)),
                 Some(TierPolicy::Fixed(tier)),
                 "{spelling}"
             );
         }
         assert_eq!(
-            TierPolicy::from_env_values(Some("adaptive"), None),
+            TierPolicy::from_env_values(Some("adaptive")),
             Some(TierPolicy::adaptive())
         );
     }
 
     #[test]
     fn unset_empty_and_unknown_tier_values_request_nothing() {
-        assert_eq!(TierPolicy::from_env_values(None, None), None);
-        assert_eq!(TierPolicy::from_env_values(Some(""), None), None);
-        assert_eq!(TierPolicy::from_env_values(Some("bogus"), None), None);
-        assert_eq!(TierPolicy::from_env_values(None, Some("")), None);
-    }
-
-    #[test]
-    fn deprecated_fuse_values_alias_decoded_and_fused() {
-        for off in ["0", "off", "OFF", "false", "False", "no", "NO"] {
-            assert_eq!(
-                TierPolicy::from_env_values(None, Some(off)),
-                Some(TierPolicy::Fixed(Tier::Decoded)),
-                "{off}"
-            );
-        }
-        assert_eq!(
-            TierPolicy::from_env_values(None, Some("1")),
-            Some(TierPolicy::Fixed(Tier::Fused))
-        );
-    }
-
-    #[test]
-    fn tier_var_wins_over_the_deprecated_fuse_var() {
-        assert_eq!(
-            TierPolicy::from_env_values(Some("threaded"), Some("0")),
-            Some(TierPolicy::Fixed(Tier::Threaded))
-        );
-        // An unrecognized DISTILL_TIER falls back to the legacy knob rather
-        // than silently shadowing it.
-        assert_eq!(
-            TierPolicy::from_env_values(Some("bogus"), Some("0")),
-            Some(TierPolicy::Fixed(Tier::Decoded))
-        );
+        assert_eq!(TierPolicy::from_env_values(None), None);
+        assert_eq!(TierPolicy::from_env_values(Some("")), None);
+        assert_eq!(TierPolicy::from_env_values(Some("bogus")), None);
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub enum ExecError {
     UnknownGlobal(String),
     /// The call stack exceeded the engine's depth limit.
     DepthExceeded,
+    /// A parallel worker thread panicked; the unwind was caught at `join`
+    /// and surfaced as this error instead of tearing down the driver.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for ExecError {
@@ -125,6 +128,7 @@ impl fmt::Display for ExecError {
             ExecError::MissingBody(n) => write!(f, "function {n} has no body"),
             ExecError::UnknownGlobal(n) => write!(f, "unknown global {n}"),
             ExecError::DepthExceeded => write!(f, "call depth exceeded"),
+            ExecError::WorkerPanicked(m) => write!(f, "worker thread panicked: {m}"),
         }
     }
 }
@@ -212,9 +216,9 @@ impl ExecConfig {
 }
 
 impl Default for ExecConfig {
-    /// The `DISTILL_TIER` environment override when set (or the deprecated
-    /// `DISTILL_FUSE` alias), otherwise the fused interpreter — so any tier
-    /// can be A/B-measured without touching a call site.
+    /// The `DISTILL_TIER` environment override when set, otherwise the
+    /// fused interpreter — so any tier can be A/B-measured without touching
+    /// a call site.
     fn default() -> ExecConfig {
         ExecConfig {
             policy: TierPolicy::from_env().unwrap_or_default(),

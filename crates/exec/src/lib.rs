@@ -38,4 +38,4 @@ pub use gpu::{GpuConfig, GpuRunReport};
 pub use mcpu::{
     parallel_argmin, parallel_argmin_static, serial_argmin, EvalContext, ParallelResult,
 };
-pub use shard::{ChunkQueue, GrabCount};
+pub use shard::{panic_message, ChunkQueue, GrabCount};

@@ -188,7 +188,11 @@ pub fn parallel_argmin(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|p| {
+                    Err(ExecError::WorkerPanicked(crate::shard::panic_message(&*p)))
+                })
+            })
             .collect()
     });
 
@@ -259,7 +263,11 @@ pub fn parallel_argmin_static(
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(ExecError::WorkerPanicked(crate::shard::panic_message(&*p)))
+                    })
+                })
                 .collect()
         });
 

@@ -30,9 +30,22 @@ impl ChunkQueue {
     /// A queue handing out `chunk`-sized ranges of `0..limit` (chunk is
     /// clamped to at least 1).
     pub fn new(limit: usize, chunk: usize) -> ChunkQueue {
+        ChunkQueue::over(0..limit, chunk)
+    }
+
+    /// The lease-range adapter: a queue handing out `chunk`-sized ranges of
+    /// an arbitrary `start..end` window instead of `0..limit`. This is how a
+    /// holder of a *lease* over part of a larger index space — the
+    /// distributed sweep coordinator carving a trial space into leases, or a
+    /// worker sharding its leased range across threads — reuses the same
+    /// scheduling substrate: the ranges handed out are absolute indices
+    /// into the global space, so per-index determinism (PRNG streams derived
+    /// from the absolute trial index) is preserved no matter which process
+    /// drains which window.
+    pub fn over(range: Range<usize>, chunk: usize) -> ChunkQueue {
         ChunkQueue {
-            next: AtomicUsize::new(0),
-            limit,
+            next: AtomicUsize::new(range.start),
+            limit: range.end.max(range.start),
             chunk: chunk.max(1),
         }
     }
@@ -69,6 +82,20 @@ impl ChunkQueue {
     /// The exclusive upper bound of the index space.
     pub fn limit(&self) -> usize {
         self.limit
+    }
+}
+
+/// Render a worker thread's panic payload as a message, so drivers can fold
+/// a caught unwind into a typed error (`ExecError::WorkerPanicked`,
+/// `DistillError::Driver`) instead of re-panicking on `join` and tearing the
+/// whole run down with a hung caller or a silent partial result.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -146,6 +173,37 @@ mod tests {
                 .collect()
         });
         assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn range_queue_drains_exactly_the_window() {
+        let q = ChunkQueue::over(40..103, 10);
+        let mut seen = vec![false; 103];
+        while let Some(r) = q.grab() {
+            for i in r {
+                assert!(i >= 40 && i < 103, "index {i} outside the lease window");
+                assert!(!seen[i], "index {i} handed out twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen[40..103].iter().all(|&s| s));
+        assert!(seen[..40].iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn empty_and_inverted_windows_grab_nothing() {
+        assert!(ChunkQueue::over(7..7, 4).grab().is_none());
+        assert!(ChunkQueue::over(9..3, 4).grab().is_none());
+    }
+
+    #[test]
+    fn panic_messages_cover_the_common_payloads() {
+        let caught = std::thread::spawn(|| panic!("literal payload")).join().unwrap_err();
+        assert_eq!(panic_message(&*caught), "literal payload");
+        let caught = std::thread::spawn(|| panic!("formatted {}", 7)).join().unwrap_err();
+        assert_eq!(panic_message(&*caught), "formatted 7");
+        let caught = std::thread::spawn(|| std::panic::panic_any(42i32)).join().unwrap_err();
+        assert_eq!(panic_message(&*caught), "non-string panic payload");
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum Tag {
     /// cheap enough per trial that request-level effects — coalescing,
     /// queueing, cache reuse — dominate the measurement.
     Serve,
+    /// Anchor of the distributed-sweep figure (`figures --dsweep`) and the
+    /// multi-process determinism suite: stochastic families whose per-trial
+    /// PRNG streams make trials location-independent, so leases can land on
+    /// any worker process and still stitch bit-identically.
+    Dsweep,
 }
 
 /// A declaratively-registered workload family.
@@ -192,7 +197,7 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "necker_cube_8",
         summary: "8-vertex Necker cube, one leaky unit per vertex",
-        tags: &[Tag::Figure4, Tag::Sweep, Tag::Serve],
+        tags: &[Tag::Figure4, Tag::Sweep, Tag::Serve, Tag::Dsweep],
         targets: SERIAL_TARGETS,
         sweep_trials: (40, 240),
         build: b_necker_m,
@@ -200,7 +205,14 @@ const REGISTRY: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "predator_prey_2",
         summary: "predator-prey S: grid-search attention controller, 8 evals/trial",
-        tags: &[Tag::Figure4, Tag::Scaling, Tag::Sweep, Tag::TierAnchor, Tag::Serve],
+        tags: &[
+            Tag::Figure4,
+            Tag::Scaling,
+            Tag::Sweep,
+            Tag::TierAnchor,
+            Tag::Serve,
+            Tag::Dsweep,
+        ],
         targets: ALL_TARGETS,
         sweep_trials: (240, 2000),
         build: b_pp_s,
@@ -304,6 +316,16 @@ pub fn tier_anchors() -> Vec<&'static WorkloadSpec> {
     specs
 }
 
+/// The families the distributed-sweep figure and the multi-process
+/// determinism suite anchor on, grid-search-controller entries first: the
+/// controller-heavy family stresses recovery under real per-lease cost,
+/// the cheap one stresses lease-protocol overhead.
+pub fn dsweep_anchors() -> Vec<&'static WorkloadSpec> {
+    let mut specs = by_tag(Tag::Dsweep);
+    specs.sort_by_key(|s| !s.has_tag(Tag::TierAnchor));
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +372,18 @@ mod tests {
         assert_eq!(anchors.len(), 2);
         assert_eq!(anchors[0].name, "predator_prey_skewed", "gate anchor leads");
         assert_eq!(anchors[1].name, "predator_prey_2");
+    }
+
+    #[test]
+    fn dsweep_anchors_lead_with_the_controller_family() {
+        let anchors = dsweep_anchors();
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[0].name, "predator_prey_2", "controller family leads");
+        assert_eq!(anchors[1].name, "necker_cube_8");
+        for a in anchors {
+            // The distributed invariant requires trial independence.
+            assert!(a.build(Scale::Reduced).model.reset_state_each_trial);
+        }
     }
 
     #[test]

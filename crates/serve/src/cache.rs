@@ -131,10 +131,18 @@ impl ArtifactCache {
                     refresh_disk = false;
                     loaded = Some(compiled);
                 }
-                Err(ArtifactError::StaleVersion { .. }) => self.stats.disk_stale += 1,
-                // Missing file, corrupt bytes or a config mismatch under a
-                // forged key: fall through to a fresh compile.
-                Ok(_) | Err(_) => {}
+                // A file that exists but cannot be used — stale codec
+                // version, bad magic, truncated or bit-flipped bytes — is a
+                // counted miss: the family recompiles and the entry is
+                // overwritten in place, same as a codec upgrade.
+                Err(
+                    ArtifactError::StaleVersion { .. }
+                    | ArtifactError::BadMagic
+                    | ArtifactError::Corrupt(_),
+                ) => self.stats.disk_stale += 1,
+                // Missing/unreadable file or a config mismatch under a
+                // forged key: fall through to a fresh compile, uncounted.
+                Ok(_) | Err(ArtifactError::Io(_)) => {}
             }
         }
         let compiled = match loaded {
@@ -253,6 +261,52 @@ mod tests {
             assert_eq!(cache.stats().disk_stale, 1);
         }
         assert!(distill::read_artifact(&path).is_ok(), "stale file rewritten");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_counted_misses_and_overwritten() {
+        let (name, model) = family();
+        let dir = std::env::temp_dir().join(format!(
+            "distill-serve-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cfg = config(OptLevel::O1);
+        let path = dir.join(format!("{}.dstl", artifact_key(name, &cfg)));
+        ArtifactCache::with_disk(2, dir.clone())
+            .get_or_compile(name, &model, cfg)
+            .unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Bit-flip deep in the body (past magic+version, so it is a payload
+        // corruption, not a version skew) and truncate — each must be a
+        // counted disk_stale miss that recompiles and overwrites in place.
+        let mut flipped = clean.clone();
+        let idx = clean.len() / 2;
+        flipped[idx] ^= 0x20;
+        let truncated = clean[..clean.len() / 3].to_vec();
+        for (label, bad) in [("bit-flipped", flipped), ("truncated", truncated)] {
+            std::fs::write(&path, &bad).unwrap();
+            let mut cache = ArtifactCache::with_disk(2, dir.clone());
+            let artifact = cache.get_or_compile(name, &model, cfg).unwrap();
+            assert_eq!(artifact.config, cfg, "{label}");
+            assert_eq!(cache.stats().disk_hits, 0, "{label}: corrupt file must not hit");
+            assert_eq!(cache.stats().disk_stale, 1, "{label}: counted as disk_stale");
+            // Overwritten: a fresh cache now disk-hits again.
+            let mut fresh = ArtifactCache::with_disk(2, dir.clone());
+            fresh.get_or_compile(name, &model, cfg).unwrap();
+            assert_eq!(fresh.stats().disk_hits, 1, "{label}: file was rewritten");
+        }
+
+        // A missing file stays an uncounted plain miss.
+        std::fs::remove_file(&path).unwrap();
+        let mut cache = ArtifactCache::with_disk(2, dir.clone());
+        cache.get_or_compile(name, &model, cfg).unwrap();
+        assert_eq!(cache.stats().disk_stale, 0);
+        assert_eq!(cache.stats().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,97 @@
+//! Distributed-sweep smoke: 2 workers, one injected kill, bitwise check.
+//!
+//! Run after a workspace build so the `distill-sweep-worker` binary exists
+//! (the coordinator degrades to in-process worker threads otherwise, which
+//! still exercises the full lease protocol):
+//!
+//! ```text
+//! cargo run --release -p distill-sweep --example dsweep_smoke
+//! ```
+//!
+//! The smoke runs the anchor family serially, then distributed across two
+//! workers with a seeded fault plan that kills one worker mid-sweep, and
+//! exits non-zero unless the recovered distributed outputs are bitwise
+//! identical to serial with at least one re-issued lease. An explicit
+//! schedule can be injected via `DISTILL_DSWEEP_FAULTS` (see
+//! `distill_sweep::proto`).
+
+use distill::{RunSpec, Session};
+use distill_sweep::{
+    dsweep_family, outputs_bits_equal, DsweepConfig, FaultPlan, ANCHOR_FAMILY,
+};
+use distill_models::registry;
+
+fn main() {
+    let trials = 48;
+    let cfg = DsweepConfig {
+        workers: 2,
+        threads: 2,
+        batch: 4,
+        lease_trials: 6,
+        trials: Some(trials),
+        faults: match FaultPlan::from_env() {
+            Ok(p) if !p.is_inert() => p,
+            Ok(_) => FaultPlan::seeded(0xD5EE9, 2),
+            Err(e) => {
+                eprintln!("dsweep_smoke: bad fault plan: {e}");
+                std::process::exit(2);
+            }
+        },
+        ..DsweepConfig::default()
+    };
+
+    // Serial reference through the ordinary session path.
+    let spec = registry::by_name(ANCHOR_FAMILY).expect("anchor family registered");
+    let w = spec.build(cfg.scale);
+    let serial = Session::new(&w.model)
+        .compile_config(cfg.compile)
+        .build()
+        .expect("serial build")
+        .run(&RunSpec::new(w.inputs.clone(), trials))
+        .expect("serial run");
+
+    let report = dsweep_family(ANCHOR_FAMILY, &cfg).expect("distributed sweep");
+    let identical = outputs_bits_equal(&serial.outputs, &report.outputs)
+        && serial.passes == report.passes;
+
+    println!(
+        "dsweep_smoke: family={} mode={} workers={}/{} leases={} reissued={} \
+         deaths={} fenced={} max_epoch={} fallback={} merged_steals={} identical={}",
+        report.family,
+        report.mode,
+        report.workers_connected,
+        report.workers_requested,
+        report.leases,
+        report.reissued,
+        report.worker_deaths,
+        report.fenced_stale,
+        report.max_epoch,
+        report.fallback_leases,
+        report.shards.steals,
+        identical,
+    );
+
+    if !identical {
+        eprintln!("dsweep_smoke: FAIL — distributed outputs diverged from serial");
+        std::process::exit(1);
+    }
+    if report.faults_expected_recovery() && report.reissued == 0 {
+        eprintln!("dsweep_smoke: FAIL — kill fault injected but no lease was re-issued");
+        std::process::exit(1);
+    }
+    println!("dsweep_smoke: PASS");
+}
+
+/// Local helper trait so the check reads naturally above.
+trait ExpectedRecovery {
+    fn faults_expected_recovery(&self) -> bool;
+}
+
+impl ExpectedRecovery for distill_sweep::DsweepReport {
+    fn faults_expected_recovery(&self) -> bool {
+        // A kill plan always forces at least one re-issue as long as any
+        // worker actually connected; with zero workers the whole run fell
+        // back in-process and there is nothing to recover.
+        self.workers_connected > 0
+    }
+}

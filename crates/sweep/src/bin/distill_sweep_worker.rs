@@ -1,0 +1,47 @@
+//! `distill-sweep-worker` — one worker process of the distributed sweep.
+//!
+//! Spawned by the coordinator (`distill_sweep::dsweep_family`) with the
+//! coordinator's socket path and this worker's slot index:
+//!
+//! ```text
+//! distill-sweep-worker <socket-path> <worker-index>
+//! ```
+//!
+//! The worker connects, identifies itself, receives the job (registry key +
+//! serialized artifact) and then executes trial leases until shutdown. It
+//! holds no configuration of its own — everything comes over the wire — so
+//! it can be pointed at any coordinator, including one on another host via
+//! a forwarded socket.
+
+use distill_sweep::worker::{worker_main, WorkerCtx};
+use std::os::unix::net::UnixStream;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: distill-sweep-worker <socket-path> <worker-index>");
+        std::process::exit(2);
+    }
+    let worker: u32 = match args[2].parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("distill-sweep-worker: bad worker index '{}'", args[2]);
+            std::process::exit(2);
+        }
+    };
+    let stream = match UnixStream::connect(&args[1]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("distill-sweep-worker: connecting {}: {e}", args[1]);
+            std::process::exit(1);
+        }
+    };
+    let ctx = WorkerCtx {
+        worker,
+        hard_exit: true,
+    };
+    if let Err(e) = worker_main(stream, ctx) {
+        eprintln!("distill-sweep-worker[{worker}]: {e}");
+        std::process::exit(1);
+    }
+}

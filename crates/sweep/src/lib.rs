@@ -30,6 +30,13 @@ use distill::{
 use distill_models::{registry, Scale, Tag, TargetKind, Workload, WorkloadSpec};
 use std::time::Instant;
 
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{dsweep_family, find_worker_bin, DsweepConfig, DsweepReport, WorkerMode};
+pub use proto::{FaultPlan, WorkerFaults};
+
 /// How a sweep executes its workloads.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -151,8 +158,10 @@ impl SweepReport {
 /// Bit-level equality of per-trial output sets: the identity verdicts the
 /// sweep reports (and CI gates) must match the determinism suite's
 /// definition — `to_bits` comparison, so NaNs compare equal to themselves
-/// and `+0.0` vs `-0.0` counts as divergence.
-fn outputs_bits_equal(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+/// and `+0.0` vs `-0.0` counts as divergence. Public because the
+/// distributed sweep's callers (figures, CI smoke, determinism tests) gate
+/// on exactly this predicate.
+pub fn outputs_bits_equal(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
             x.len() == y.len()

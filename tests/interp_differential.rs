@@ -42,7 +42,7 @@ fn flatten(w: &Workload, artifact: &CompiledModel, trial: usize) -> Vec<f64> {
 const ALL_TIERS: [Tier; 4] = [Tier::Reference, Tier::Decoded, Tier::Fused, Tier::Threaded];
 
 /// One engine per tier over the artifact's module — pinned `Fixed` policies,
-/// so an inherited `DISTILL_TIER`/`DISTILL_FUSE` cannot degrade the
+/// so an inherited `DISTILL_TIER` cannot degrade the
 /// differential — plus an `Adaptive` engine whose promotion threshold of 2
 /// makes it tier up from decoded to threaded *during* the comparison.
 fn tier_engines(artifact: &CompiledModel) -> Vec<(String, Engine)> {

@@ -207,7 +207,7 @@ fn fusion_knob_is_a_pure_performance_switch() {
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.passes, b.passes);
     if distill::TierPolicy::from_env().is_some() {
-        // A DISTILL_TIER/DISTILL_FUSE environment request overrides the
+        // A DISTILL_TIER environment request overrides the
         // session knob by design; the fusion-specific assertions below
         // would be vacuous.
         return;

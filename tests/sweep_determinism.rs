@@ -11,7 +11,10 @@
 
 use distill::{compile, RunResult, RunSpec, Session};
 use distill_models::{registry, Scale};
-use distill_sweep::{run_sweep, SweepConfig};
+use distill_sweep::{
+    dsweep_family, outputs_bits_equal, run_sweep, DsweepConfig, FaultPlan, SweepConfig,
+    WorkerMode, ANCHOR_FAMILY,
+};
 
 /// Odd trial count so every batch size produces a ragged final chunk.
 const TRIALS: usize = 11;
@@ -87,4 +90,110 @@ fn orchestrated_sweep_verifies_identity_on_every_family() {
         assert!(w.identical, "{}: sharded sweep diverged from serial", w.name);
     }
     assert!(report.all_identical());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed (multi-process) sweep
+// ---------------------------------------------------------------------------
+
+/// Enough trials for several leases per worker at every topology.
+const DTRIALS: usize = 36;
+
+/// Serial reference for the distributed cases.
+fn serial_reference() -> RunResult {
+    let spec = registry::by_name(ANCHOR_FAMILY).expect("anchor registered");
+    let w = spec.build(Scale::Reduced);
+    Session::new(&w.model)
+        .build()
+        .unwrap()
+        .run(&RunSpec::new(w.inputs.clone(), DTRIALS))
+        .unwrap()
+}
+
+fn dcfg(workers: usize, threads: usize) -> DsweepConfig {
+    DsweepConfig {
+        workers,
+        threads,
+        batch: 4,
+        lease_trials: 5, // ragged final lease on purpose
+        trials: Some(DTRIALS),
+        // Worker processes are not built when only this test binary is; the
+        // in-process worker threads speak the identical socket protocol, so
+        // the coordinator/lease/epoch machinery is exercised either way
+        // (`ci.sh` runs the true multi-process smoke against release bins).
+        mode: WorkerMode::Auto,
+        ..DsweepConfig::default()
+    }
+}
+
+#[test]
+fn distributed_sweep_is_bit_identical_at_every_topology() {
+    let serial = serial_reference();
+    for workers in [1usize, 2, 4] {
+        for threads in [1usize, 2] {
+            let report = dsweep_family(ANCHOR_FAMILY, &dcfg(workers, threads))
+                .unwrap_or_else(|e| panic!("dsweep w={workers} t={threads}: {e}"));
+            assert!(
+                outputs_bits_equal(&serial.outputs, &report.outputs),
+                "outputs diverged at workers={workers} threads={threads} (mode={})",
+                report.mode
+            );
+            assert_eq!(
+                serial.passes, report.passes,
+                "pass counts diverged at workers={workers} threads={threads}"
+            );
+            assert_eq!(report.trials, DTRIALS);
+            assert_eq!(report.leases, DTRIALS.div_ceil(5));
+            assert_eq!(report.reissued, 0, "clean run must not re-issue");
+            assert_eq!(report.fenced_stale, 0);
+        }
+    }
+}
+
+#[test]
+fn distributed_sweep_survives_a_seeded_worker_kill_bit_identically() {
+    let serial = serial_reference();
+    let cfg = DsweepConfig {
+        faults: FaultPlan::seeded(0xFA11, 2),
+        ..dcfg(2, 2)
+    };
+    let report = dsweep_family(ANCHOR_FAMILY, &cfg).expect("faulted dsweep completes");
+    assert!(
+        outputs_bits_equal(&serial.outputs, &report.outputs),
+        "kill-recovery outputs diverged (mode={}, reissued={})",
+        report.mode,
+        report.reissued
+    );
+    assert_eq!(serial.passes, report.passes);
+    if report.workers_connected > 0 {
+        assert!(report.worker_deaths >= 1, "the seeded kill must be observed");
+        assert!(report.reissued >= 1, "the killed worker's lease must re-issue");
+        assert!(report.max_epoch >= 1, "re-issue must bump the epoch");
+        assert!(
+            report.shards.steals >= report.reissued,
+            "recovery must be visible in merged ShardStats"
+        );
+    }
+}
+
+#[test]
+fn distributed_sweep_fences_dropped_results_and_stays_identical() {
+    let serial = serial_reference();
+    let cfg = DsweepConfig {
+        // Worker 0 computes its first lease but never sends it; the lease
+        // deadline must expire and the window re-issue under a new epoch.
+        faults: FaultPlan::parse("drop=0@0").unwrap(),
+        lease_timeout: std::time::Duration::from_millis(250),
+        ..dcfg(2, 1)
+    };
+    let report = dsweep_family(ANCHOR_FAMILY, &cfg).expect("drop-faulted dsweep completes");
+    assert!(
+        outputs_bits_equal(&serial.outputs, &report.outputs),
+        "drop-recovery outputs diverged (mode={})",
+        report.mode
+    );
+    assert_eq!(serial.passes, report.passes);
+    if report.workers_connected > 0 {
+        assert!(report.reissued >= 1, "the dropped lease must re-issue");
+    }
 }
