@@ -28,17 +28,22 @@ cargo run --release --example quickstart
 cargo run --release --example predator_prey_attention
 cargo run --release --example model_analysis
 
-echo "== serving smoke (bounded open-loop run, served-vs-solo bit-identity)"
+echo "== serving smoke (bounded open-loop run, served-vs-solo bit-identity, trace export)"
 # Starts a distill-serve daemon, drives the registry's serve mix with
 # concurrent open-loop clients, and verifies a sample of coalesced
 # responses bitwise against solo reruns; exits non-zero on any mismatch.
+# Also exports the daemon's chrome://tracing trace to
+# bench_results/trace_serve.json and re-parses it, failing unless it is
+# well-formed trace_event JSON containing the documented serve spans.
 cargo run --release -p distill-serve --example open_loop_smoke
 
-echo "== distributed sweep smoke (2 worker processes, injected kill, bitwise vs serial)"
+echo "== distributed sweep smoke (2 worker processes, injected kill, bitwise vs serial, trace export)"
 # Spawns a coordinator plus two true worker processes over local sockets,
 # kills one worker mid-sweep via the seeded fault plan, and requires the
 # merged result to be bitwise identical to a serial run with the killed
-# worker's lease visibly re-issued; exits non-zero otherwise.
+# worker's lease visibly re-issued; exits non-zero otherwise. Also exports
+# the coordinator's lease-lifecycle trace to bench_results/trace_dsweep.json
+# and validates it the same way.
 cargo run --release -p distill-sweep --example dsweep_smoke
 
 echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve + dsweep figures, JSON to bench_results/)"
@@ -48,8 +53,9 @@ echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve + ds
 # interpreter), `tiers` (direct-threaded dispatch vs the fused
 # interpreter, plus the adaptive tier-up probe), `serve` (the serving
 # daemon's coalesced throughput vs sequential solo replay) and `dsweep`
-# (the distributed sweep with a seeded worker kill vs serial), all of
-# which the gates below read.
+# (the distributed sweep with a seeded worker kill vs serial) and
+# `telemetry` (the probe layer's fused-tier cost with telemetry on vs the
+# kill switch thrown), all of which the gates below read.
 cargo run --release -p distill-bench --bin figures
 
 echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run)"
@@ -70,8 +76,10 @@ echo "== bench-diff (trajectory gate: history -> committed baseline -> fresh run
 # replay — an overhead bound, not a speedup gate, so it holds on
 # single-core runners), the distributed sweep's recovery gate (clean and
 # kill-faulted runs bit-identical to serial, >= 1 lease re-issued, fault
-# wall-clock within 6x of clean) and the sweep's and serve's bit-identity
-# flags.
+# wall-clock within 6x of clean), the telemetry layer's overhead bound
+# (fused-tier per-trial cost with probes live <= 1.05x of the same run
+# with DISTILL_TELEMETRY=0 thrown, kill switch bit-identical and fully
+# silent) and the sweep's and serve's bit-identity flags.
 # The committed baseline records absolute timings from one machine; when
 # this gate moves to a much slower host, refresh the snapshot once with
 #   cargo run --release -p distill-bench --bin figures -- --out bench_results/baseline
@@ -85,6 +93,6 @@ cargo run --release -p distill-bench --bin bench-diff -- \
   --threshold 1.5 --min-seconds 0.1 \
   --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15 \
   --min-threaded-speedup 1.05 --min-serve-throughput 0.75 \
-  --max-dsweep-overhead 6.0
+  --max-dsweep-overhead 6.0 --max-telemetry-overhead 1.05
 
 echo "CI OK"

@@ -36,6 +36,13 @@
 //!                           recovery-was-exercised check (a worker death
 //!                           and >= 1 re-issued lease whenever workers
 //!                           actually connected) are unconditional.
+//!   --max-telemetry-overhead X upper bound on the `telemetry` figure's
+//!                           `overhead_ratio` (fused-tier per-trial cost
+//!                           with probes live over the same run with the
+//!                           kill switch thrown, best-of paired samples;
+//!                           default 1.05; 0 disables). The kill-switch
+//!                           bit-identity flag and the probes-fired /
+//!                           probes-silent counters are unconditional.
 //! ```
 //!
 //! Each input is one of:
@@ -81,6 +88,7 @@ struct Options {
     min_threaded_speedup: f64,
     min_serve_throughput: f64,
     max_dsweep_overhead: f64,
+    max_telemetry_overhead: f64,
 }
 
 fn usage() -> ! {
@@ -88,7 +96,7 @@ fn usage() -> ! {
         "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
          [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X] \
          [--min-fused-speedup X] [--min-threaded-speedup X] [--min-serve-throughput X] \
-         [--max-dsweep-overhead X]"
+         [--max-dsweep-overhead X] [--max-telemetry-overhead X]"
     );
     exit(2);
 }
@@ -106,6 +114,7 @@ fn parse_args() -> Options {
         min_threaded_speedup: 1.05,
         min_serve_throughput: 0.75,
         max_dsweep_overhead: 6.0,
+        max_telemetry_overhead: 1.05,
     };
     let mut i = 0;
     while i < args.len() {
@@ -126,6 +135,7 @@ fn parse_args() -> Options {
             "--min-threaded-speedup" => opts.min_threaded_speedup = flag_value(&mut i),
             "--min-serve-throughput" => opts.min_serve_throughput = flag_value(&mut i),
             "--max-dsweep-overhead" => opts.max_dsweep_overhead = flag_value(&mut i),
+            "--max-telemetry-overhead" => opts.max_telemetry_overhead = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
             other => opts.paths.push(other.to_string()),
         }
@@ -532,6 +542,36 @@ fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
                 )),
                 None => v.fail("dsweep record lacks recovery_overhead".to_string()),
             }
+        }
+    }
+    if let Some(telemetry) = find(&newest.figures, "figure", "telemetry") {
+        // The telemetry layer's contract: probes cost next to nothing when
+        // live, exactly nothing when the kill switch is thrown, and never
+        // perturb execution either way.
+        if opts.max_telemetry_overhead > 0.0 {
+            match stat(telemetry, &["overhead_ratio"]).and_then(Json::as_f64) {
+                Some(o) if o <= opts.max_telemetry_overhead => v.note(format!(
+                    "{:<38} x{o:.4} (<= x{:.2})  ok",
+                    "telemetry overhead gate (on vs off)", opts.max_telemetry_overhead
+                )),
+                Some(o) => v.fail(format!(
+                    "telemetry probe overhead x{o:.4} above allowed x{:.2}",
+                    opts.max_telemetry_overhead
+                )),
+                None => v.fail("telemetry record lacks overhead_ratio".to_string()),
+            }
+        }
+        if stat(telemetry, &["outputs_match"]).and_then(Json::as_bool) == Some(false) {
+            v.fail("telemetry kill switch altered trial outputs".to_string());
+        }
+        if stat(telemetry, &["probe_calls_on"]).and_then(Json::as_f64) == Some(0.0) {
+            v.fail("telemetry-on run fired no probes".to_string());
+        }
+        match stat(telemetry, &["probe_calls_off"]).and_then(Json::as_f64) {
+            Some(c) if c > 0.0 => v.fail(format!(
+                "kill switch leaked {c:.0} probe increment(s) while telemetry was off"
+            )),
+            _ => {}
         }
     }
     if let Some(sweep) = find(&newest.figures, "figure", "sweep") {

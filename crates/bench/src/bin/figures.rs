@@ -13,6 +13,7 @@
 //! figures --sweep        # sweep subsystem: serial vs sharded+batched
 //! figures --serve        # serving daemon: coalesced vs solo replay
 //! figures --dsweep       # distributed sweep: lease recovery vs serial
+//! figures --telemetry    # telemetry probes: overhead on vs kill switch off
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
 //!
@@ -113,9 +114,9 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 15] = [
+    const FIGS: [&str; 16] = [
         "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
-        "tiers", "serve", "dsweep",
+        "tiers", "serve", "dsweep", "telemetry",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -242,11 +243,21 @@ fn main() {
                 }
                 _ => fig = Some("dsweep".to_string()),
             },
+            // Shorthand for `--fig telemetry`: the telemetry layer's
+            // overhead bound — fused-tier per-trial cost with probes live
+            // vs the kill switch thrown, plus kill-switch bit-identity.
+            "--telemetry" => match &fig {
+                Some(f) if f != "telemetry" => {
+                    eprintln!("error: --telemetry conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("telemetry".to_string()),
+            },
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve|dsweep] \
-                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--dsweep] \
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve|dsweep|telemetry] \
+                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--dsweep] [--telemetry] \
                      [--full] [--out DIR]"
                 );
                 std::process::exit(2);
@@ -364,6 +375,14 @@ fn main() {
         emit.figure("dsweep", || {
             let (trials, workers, threads) = if full { (480, 4, 2) } else { (96, 2, 2) };
             let r = bench::fig_dsweep(trials, workers, threads);
+            (r.render(), r.to_json())
+        });
+    }
+
+    if want("telemetry") {
+        emit.figure("telemetry", || {
+            let (trials, samples) = if full { (300, 25) } else { (60, 11) };
+            let r = bench::fig_telemetry(trials, samples);
             (r.render(), r.to_json())
         });
     }

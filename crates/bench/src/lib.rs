@@ -1543,6 +1543,13 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Artifact-cache misses (compiles) during the run.
     pub cache_misses: u64,
+    /// Artifact-cache LRU evictions during the run.
+    pub cache_evictions: u64,
+    /// Misses satisfied from the on-disk artifact store instead of a
+    /// recompile.
+    pub cache_disk_hits: u64,
+    /// On-disk artifacts rejected as written by a different codec revision.
+    pub cache_disk_stale: u64,
 }
 
 impl ServeReport {
@@ -1575,14 +1582,18 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "  coalesced: {}/{} requests, {}/{} spans, {} batch calls, cache {}h/{}m",
+            "  coalesced: {}/{} requests, {}/{} spans, {} batch calls, cache {}h/{}m \
+             ({} evicted, {} disk hits, {} disk stale)",
             self.coalesced_requests,
             self.requests,
             self.coalesced_spans,
             self.spans,
             self.batch_calls,
             self.cache_hits,
-            self.cache_misses
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_disk_hits,
+            self.cache_disk_stale
         );
         let _ = writeln!(
             out,
@@ -1619,6 +1630,9 @@ impl ServeReport {
             ("all_identical", self.all_identical.into()),
             ("cache_hits", self.cache_hits.into()),
             ("cache_misses", self.cache_misses.into()),
+            ("cache_evictions", self.cache_evictions.into()),
+            ("cache_disk_hits", self.cache_disk_hits.into()),
+            ("cache_disk_stale", self.cache_disk_stale.into()),
         ])
     }
 }
@@ -1730,6 +1744,9 @@ pub fn fig_serve(
         all_identical,
         cache_hits: stats.cache.hits,
         cache_misses: stats.cache.misses,
+        cache_evictions: stats.cache.evictions,
+        cache_disk_hits: stats.cache.disk_hits,
+        cache_disk_stale: stats.cache.disk_stale,
     }
 }
 
@@ -1884,6 +1901,192 @@ pub fn fig_dsweep(trials: usize, workers: usize, threads: usize) -> DsweepFigure
         worker_deaths: fault.worker_deaths,
         fenced_stale: fault.fenced_stale,
         fault_mode: fault.mode,
+    }
+}
+
+/// `figures --telemetry`: the telemetry layer's overhead bound — the fused
+/// tier's per-trial cost with probes live vs the same engine with the
+/// `DISTILL_TELEMETRY=0` kill switch thrown, on the Fig. 2 model family.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Built model name.
+    pub model: String,
+    /// Trials per sample.
+    pub trials: usize,
+    /// Paired (on, off) samples timed.
+    pub samples: usize,
+    /// Median seconds per trial with telemetry enabled.
+    pub on_median_s: f64,
+    /// Median seconds per trial with telemetry disabled.
+    pub off_median_s: f64,
+    /// Fastest sample, telemetry on.
+    pub on_min_s: f64,
+    /// Fastest sample, telemetry off.
+    pub off_min_s: f64,
+    /// `on_min_s / off_min_s` — the gated overhead bound. Best-vs-best of
+    /// paired samples, like the serve figure's throughput ratio: transient
+    /// host noise only ever *inflates* a single sample, so comparing the
+    /// two sides' fastest runs isolates the probes' real cost.
+    pub overhead_ratio: f64,
+    /// `on_median_s / off_median_s`, reported for context.
+    pub overhead_ratio_median: f64,
+    /// Whether the on and off runs produced bit-identical trial outputs
+    /// (the kill switch must not alter execution).
+    pub outputs_match: bool,
+    /// `engine.tier.fused.calls` delta attributed to the telemetry-on runs.
+    pub probe_calls_on: u64,
+    /// Registry counter movement observed during the telemetry-off runs —
+    /// must be zero (a thrown kill switch means *no* probe fires).
+    pub probe_calls_off: u64,
+}
+
+impl TelemetryReport {
+    /// Render the overhead comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Telemetry: fused-tier probe overhead on {} ({} trials x {} paired samples)",
+            self.model, self.trials, self.samples
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>14.9} s/trial  (median {:.3e})",
+            "telemetry on", self.on_min_s, self.on_median_s
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>14.9} s/trial  (median {:.3e})",
+            "telemetry off", self.off_min_s, self.off_median_s
+        );
+        let _ = writeln!(
+            out,
+            "  overhead: x{:.4} (median x{:.4})   outputs identical: {}   \
+             probes fired: {} on / {} off",
+            self.overhead_ratio,
+            self.overhead_ratio_median,
+            self.outputs_match,
+            self.probe_calls_on,
+            self.probe_calls_off
+        );
+        out
+    }
+
+    /// The figure as a JSON object (consumed by `bench-diff`'s
+    /// `--max-telemetry-overhead` gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", Json::str(&self.model)),
+            ("trials", self.trials.into()),
+            ("samples", self.samples.into()),
+            ("on_median_s", self.on_median_s.into()),
+            ("off_median_s", self.off_median_s.into()),
+            ("on_min_s", self.on_min_s.into()),
+            ("off_min_s", self.off_min_s.into()),
+            ("overhead_ratio", self.overhead_ratio.into()),
+            ("overhead_ratio_median", self.overhead_ratio_median.into()),
+            ("outputs_match", self.outputs_match.into()),
+            ("probe_calls_on", self.probe_calls_on.into()),
+            ("probe_calls_off", self.probe_calls_off.into()),
+        ])
+    }
+}
+
+/// Measure the telemetry layer's cost where it is hottest relative to the
+/// work it wraps: the fused tier's per-call dispatch probe. Each sample
+/// times the same compiled trial loop twice on separate engines — once with
+/// probes live, once with [`distill_telemetry::set_enabled`] thrown off —
+/// and the report carries best-of and median ratios plus the registry
+/// deltas proving the probes fired (on) and stayed silent (off).
+pub fn fig_telemetry(trials: usize, samples: usize) -> TelemetryReport {
+    use distill_telemetry as telemetry;
+
+    let w = predator_prey_s();
+    let artifact = compile(&w.model, CompileConfig::default()).expect("compilation succeeds");
+    let trial_fn = artifact.trial_func.expect("whole-model artifact has a trial function");
+    let ext_len = artifact.layout.ext_len.max(1);
+    let out_len = artifact.layout.trial_output_len;
+    let flats: Vec<Vec<f64>> = w
+        .inputs
+        .iter()
+        .map(|input| artifact.layout.flatten_input(&w.model.input_nodes, input))
+        .collect();
+    let zero_flat = vec![0.0; ext_len];
+    let mut on_engine =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Fused));
+    let mut off_engine =
+        Engine::with_config(artifact.module.clone(), ExecConfig::fixed(Tier::Fused));
+
+    let run = |engine: &mut Engine| -> (f64, Vec<Vec<u64>>) {
+        let start = Instant::now();
+        let mut outs = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let flat = if flats.is_empty() {
+                &zero_flat
+            } else {
+                &flats[trial % flats.len()]
+            };
+            engine
+                .write_global_f64(gn::EXT_INPUT, flat)
+                .expect("ext_input exists");
+            engine
+                .call(trial_fn, &[Value::I64(trial as i64)])
+                .expect("trial executes");
+            let out = engine
+                .read_global_f64(gn::TRIAL_OUTPUT)
+                .expect("trial_output exists");
+            outs.push(out[..out_len].iter().map(|v| v.to_bits()).collect());
+        }
+        (start.elapsed().as_secs_f64(), outs)
+    };
+
+    let was_enabled = telemetry::enabled();
+    let samples = samples.max(1);
+    let trials_f = trials.max(1) as f64;
+    let mut on_samples = Vec::with_capacity(samples);
+    let mut off_samples = Vec::with_capacity(samples);
+    let mut outputs_match = true;
+    let mut probe_calls_on = 0u64;
+    let mut probe_calls_off = 0u64;
+    for _ in 0..samples {
+        telemetry::set_enabled(true);
+        let before_on = telemetry::snapshot();
+        let (t_on, out_on) = run(&mut on_engine);
+        let after_on = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        let before_off = telemetry::snapshot();
+        let (t_off, out_off) = run(&mut off_engine);
+        let after_off = telemetry::snapshot();
+        outputs_match &= out_on == out_off;
+        probe_calls_on += after_on.counter_delta(&before_on, "engine.tier.fused.calls");
+        // Sum movement across *every* counter: the off side must be silent.
+        probe_calls_off += after_off
+            .counters
+            .iter()
+            .map(|(name, v)| v - before_off.counter(name).unwrap_or(0))
+            .sum::<u64>();
+        on_samples.push(t_on / trials_f);
+        off_samples.push(t_off / trials_f);
+    }
+    telemetry::set_enabled(was_enabled);
+
+    let on = criterion::stats::compute(&on_samples, trials as u64, on_samples.iter().sum());
+    let off = criterion::stats::compute(&off_samples, trials as u64, off_samples.iter().sum());
+    let on_min = on_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let off_min = off_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    TelemetryReport {
+        model: w.model.name.clone(),
+        trials,
+        samples,
+        on_median_s: on.median,
+        off_median_s: off.median,
+        on_min_s: on_min,
+        off_min_s: off_min,
+        overhead_ratio: on_min / off_min.max(1e-15),
+        overhead_ratio_median: on.median / off.median.max(1e-15),
+        outputs_match,
+        probe_calls_on,
+        probe_calls_off,
     }
 }
 

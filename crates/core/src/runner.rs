@@ -336,8 +336,15 @@ impl CompiledDriver {
         // *per-run* delta (worker-thread deltas are absorbed into the
         // template engine before the run returns, so they are included).
         let base_stats = self.engine.stats();
+        let mut span = distill_telemetry::span("run");
+        span.arg_i64("trials", spec.trials as i64);
+        span.arg_i64("shards", spec.shards as i64);
         let mut result = self.run_inner(spec, grid)?;
+        drop(span);
         result.stats = self.engine.stats_since(&base_stats);
+        if distill_telemetry::enabled() {
+            mirror_run_stats(&result.stats);
+        }
         Ok(result)
     }
 
@@ -748,6 +755,54 @@ fn run_trial_chunk(
         }
     }
     Ok((outs, passes))
+}
+
+/// Mirror a finished run's [`EngineStats`] delta into the global telemetry
+/// registry, one `run.*` counter per stats field. Because the mirror adds
+/// exactly [`RunResult::stats`], a registry snapshot taken before and after
+/// a run reproduces the result's deltas — the equality the telemetry
+/// integration tests pin down.
+fn mirror_run_stats(stats: &distill_exec::EngineStats) {
+    use distill_telemetry::Counter;
+    use std::sync::OnceLock;
+    struct RunProbes {
+        instructions: &'static Counter,
+        calls: &'static Counter,
+        loads: &'static Counter,
+        stores: &'static Counter,
+        frame_pool_hits: &'static Counter,
+        steals: &'static Counter,
+        fused_ops: &'static Counter,
+        frame_slots: &'static Counter,
+        tier_promotions: &'static Counter,
+        runs: &'static Counter,
+    }
+    static PROBES: OnceLock<RunProbes> = OnceLock::new();
+    let p = PROBES.get_or_init(|| {
+        let reg = distill_telemetry::registry();
+        RunProbes {
+            instructions: reg.counter("run.instructions"),
+            calls: reg.counter("run.calls"),
+            loads: reg.counter("run.loads"),
+            stores: reg.counter("run.stores"),
+            frame_pool_hits: reg.counter("run.frame_pool_hits"),
+            steals: reg.counter("run.steals"),
+            fused_ops: reg.counter("run.fused_ops"),
+            frame_slots: reg.counter("run.frame_slots"),
+            tier_promotions: reg.counter("run.tier_promotions"),
+            runs: reg.counter("run.completed"),
+        }
+    });
+    p.instructions.add(stats.instructions);
+    p.calls.add(stats.calls);
+    p.loads.add(stats.loads);
+    p.stores.add(stats.stores);
+    p.frame_pool_hits.add(stats.frame_pool_hits);
+    p.steals.add(stats.steals);
+    p.fused_ops.add(stats.fused_ops);
+    p.frame_slots.add(stats.frame_slots);
+    p.tier_promotions.add(stats.tier_promotions);
+    p.runs.inc();
 }
 
 /// A compiled backend: the driver plus the grid strategy the target selects.

@@ -657,6 +657,9 @@ impl Engine {
                     if self.hot_calls[idx] >= hot_call_threshold {
                         self.promoted[idx] = true;
                         self.ctx.stats.tier_promotions += 1;
+                        if distill_telemetry::enabled() {
+                            crate::probes::record_promotion(idx, hot_call_threshold);
+                        }
                     }
                 }
                 let tier = if self.promoted[idx] {
@@ -680,6 +683,21 @@ impl Engine {
         func: FuncId,
         args: &[Value],
     ) -> Result<Value, ExecError> {
+        // Telemetry probes once per dispatch, never per instruction: a
+        // latency sample plus the stats delta mirrored into the global
+        // registry. Off means one relaxed load and the untaken branch.
+        if !distill_telemetry::enabled() {
+            return self.dispatch_tier(tier, func, args);
+        }
+        let before = self.ctx.stats;
+        let start = std::time::Instant::now();
+        let result = self.dispatch_tier(tier, func, args);
+        crate::probes::record_dispatch(tier, start.elapsed(), &before, &self.ctx.stats);
+        result
+    }
+
+    /// The raw tier dispatch behind [`Engine::call_tier`].
+    fn dispatch_tier(&mut self, tier: Tier, func: FuncId, args: &[Value]) -> Result<Value, ExecError> {
         let mut fuel = self.fuel_limit;
         // Disjoint field borrows: the tier's prepared code is immutable
         // while the call mutates only `ctx`.

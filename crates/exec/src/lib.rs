@@ -29,6 +29,7 @@ pub mod engine;
 pub mod fuse;
 pub mod gpu;
 pub mod mcpu;
+pub(crate) mod probes;
 pub mod shard;
 
 pub use backend::{ExecTier, Tier, TierCodeStats, TierPolicy};

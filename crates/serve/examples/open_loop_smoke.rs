@@ -2,10 +2,50 @@
 //! serve mix with concurrent clients, and verify a sample of responses
 //! bitwise against solo reruns. Exits non-zero on any mismatch, so CI can
 //! gate on it directly.
+//!
+//! The smoke doubles as the serving trace-export check: after the run it
+//! writes the daemon's chrome://tracing export to
+//! `bench_results/trace_serve.json`, re-parses it with the in-repo JSON
+//! parser, and fails unless the trace is well-formed and contains the
+//! spans the daemon is documented to emit.
 
+use criterion::json::Json;
 use std::time::Duration;
 
 use distill_serve::{run_open_loop, ServeConfig, Server, TrafficConfig};
+
+/// Parse a chrome trace export and require well-formed events plus at least
+/// one event per `required` name. Panics (non-zero exit) on any violation.
+fn validate_trace(path: &str, required: &[&str]) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let root = Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace has a traceEvents array");
+    assert!(!events.is_empty(), "{path}: traceEvents is empty");
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event has ph");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph:?}");
+        assert!(ev.get("name").and_then(Json::as_str).is_some(), "event has name");
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "event has ts");
+        assert!(ev.get("pid").and_then(Json::as_f64).is_some(), "event has pid");
+        assert!(ev.get("tid").and_then(Json::as_f64).is_some(), "event has tid");
+        if ph == "X" {
+            assert!(ev.get("dur").and_then(Json::as_f64).is_some(), "span has dur");
+        }
+    }
+    for name in required {
+        assert!(
+            events
+                .iter()
+                .any(|ev| ev.get("name").and_then(Json::as_str) == Some(name)),
+            "{path}: no {name:?} event in the trace"
+        );
+    }
+    events.len()
+}
 
 fn main() {
     let families: Vec<String> = distill_models::serve_mix()
@@ -69,4 +109,37 @@ fn main() {
         stats.batch_calls,
         checked,
     );
+
+    // Telemetry cross-check: the registry's mirrored counters must agree
+    // with the scheduler's own bookkeeping.
+    let snap = server.telemetry();
+    if snap.enabled {
+        assert_eq!(
+            snap.counter("serve.spans").unwrap_or(0),
+            stats.spans as u64,
+            "span counter drifted"
+        );
+        assert_eq!(
+            snap.counter("serve.batch_calls").unwrap_or(0),
+            stats.batch_calls as u64,
+            "batch-call counter drifted"
+        );
+        println!(
+            "serve smoke telemetry: cache hits={} misses={}, wait p95 {} us",
+            snap.counter("serve.cache.hits").unwrap_or(0),
+            snap.counter("serve.cache.misses").unwrap_or(0),
+            snap.histogram("serve.wait_ns").map_or(0, |h| h.p95 / 1_000),
+        );
+    }
+
+    // Trace export: drop the server first so its worker threads exit and
+    // flush their buffered events into the ring.
+    drop(server);
+    if snap.enabled {
+        let path = "bench_results/trace_serve.json";
+        let events = distill_telemetry::write_chrome_trace(path).expect("trace export");
+        let parsed = validate_trace(path, &["serve.chunk"]);
+        assert_eq!(parsed, events, "export and re-parse disagree on event count");
+        println!("serve smoke trace: {events} event(s) -> {path} (valid trace_event JSON)");
+    }
 }

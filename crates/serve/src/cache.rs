@@ -111,6 +111,27 @@ impl ArtifactCache {
         model: &Composition,
         config: CompileConfig,
     ) -> Result<Arc<CompiledModel>, ServeError> {
+        let before = self.stats;
+        let result = self.get_or_compile_inner(family, model, config);
+        if distill_telemetry::enabled() {
+            // Mirror this lookup's counter deltas into the global registry,
+            // so a live telemetry snapshot agrees with `CacheStats`.
+            let p = crate::probes::cache_probes();
+            p.hits.add(self.stats.hits - before.hits);
+            p.misses.add(self.stats.misses - before.misses);
+            p.evictions.add(self.stats.evictions - before.evictions);
+            p.disk_hits.add(self.stats.disk_hits - before.disk_hits);
+            p.disk_stale.add(self.stats.disk_stale - before.disk_stale);
+        }
+        result
+    }
+
+    fn get_or_compile_inner(
+        &mut self,
+        family: &str,
+        model: &Composition,
+        config: CompileConfig,
+    ) -> Result<Arc<CompiledModel>, ServeError> {
         let key = artifact_key(family, &config);
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             self.stats.hits += 1;

@@ -24,13 +24,22 @@
 //! the figures binary drives the offline harnesses, reporting throughput
 //! and latency percentiles (`figures --serve`).
 //!
+//! The daemon is instrumented end to end with `distill-telemetry` (metric
+//! names are catalogued in the README's Observability section):
+//! queue-depth gauges per lane, wait/service-time histograms, span-packing
+//! and cache counters, and `serve.chunk` trace spans. [`Server::telemetry`] / [`ClientSession::telemetry`] freeze the
+//! registry into a [`TelemetrySnapshot`] so a live daemon can be queried
+//! instead of restarted.
+//!
 //! [`Session`]: distill::Session
 
 pub mod cache;
+pub(crate) mod probes;
 pub mod server;
 pub mod traffic;
 
 pub use cache::{ArtifactCache, CacheStats};
+pub use distill_telemetry::TelemetrySnapshot;
 pub use server::{
     ClientSession, ServeConfig, ServeStats, Server, Ticket, TrialRequest, TrialResponse,
 };

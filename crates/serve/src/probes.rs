@@ -1,0 +1,85 @@
+//! Telemetry probes for the serving daemon.
+//!
+//! The scheduler's observable lifecycle is submit → pack → execute →
+//! demux, and the probes sit exactly on those seams (never inside the
+//! engine's hot loop, which carries its own per-tier probes):
+//!
+//! * `serve.requests`, `serve.trials`, `serve.spans`,
+//!   `serve.coalesced_spans`, `serve.batch_calls` — mirrors of the
+//!   [`crate::ServeStats`] counters, so a live registry snapshot agrees
+//!   with [`crate::Server::stats`].
+//! * `serve.queue_depth` — trials submitted but not yet packed into a
+//!   span, summed over lanes; `serve.lane.<family>.depth` is the same
+//!   level per lane.
+//! * `serve.wait_ns` — per segment, submit to pack (queueing delay).
+//! * `serve.service_ns` — per segment, pack to demux (execution +
+//!   result-assembly delay).
+//! * `serve.span_trials` — size histogram of packed spans: how much
+//!   coalescing each pack actually achieved.
+//! * `serve.cache.{hits,misses,evictions,disk_hits,disk_stale}` — mirrors
+//!   of [`crate::cache::CacheStats`].
+//!
+//! Spans: each executed chunk records a `serve.chunk` complete event, so a
+//! chrome trace of a serving run shows worker lanes interleaving chunk
+//! executions, with the per-chunk trial range in the event args.
+
+use distill_telemetry::{self as telemetry, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct ServeProbes {
+    pub requests: &'static Counter,
+    pub trials: &'static Counter,
+    pub spans: &'static Counter,
+    pub coalesced_spans: &'static Counter,
+    pub batch_calls: &'static Counter,
+    pub queue_depth: &'static Gauge,
+    pub wait_ns: &'static Histogram,
+    pub service_ns: &'static Histogram,
+    pub span_trials: &'static Histogram,
+}
+
+pub(crate) fn serve_probes() -> &'static ServeProbes {
+    static PROBES: OnceLock<ServeProbes> = OnceLock::new();
+    PROBES.get_or_init(|| {
+        let reg = telemetry::registry();
+        ServeProbes {
+            requests: reg.counter("serve.requests"),
+            trials: reg.counter("serve.trials"),
+            spans: reg.counter("serve.spans"),
+            coalesced_spans: reg.counter("serve.coalesced_spans"),
+            batch_calls: reg.counter("serve.batch_calls"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            wait_ns: reg.histogram("serve.wait_ns"),
+            service_ns: reg.histogram("serve.service_ns"),
+            span_trials: reg.histogram("serve.span_trials"),
+        }
+    })
+}
+
+/// The per-lane queue-depth gauge for `family`, registered on first use
+/// (lane creation).
+pub(crate) fn lane_depth_gauge(family: &str) -> &'static Gauge {
+    telemetry::registry().gauge(&format!("serve.lane.{family}.depth"))
+}
+
+pub(crate) struct CacheProbes {
+    pub hits: &'static Counter,
+    pub misses: &'static Counter,
+    pub evictions: &'static Counter,
+    pub disk_hits: &'static Counter,
+    pub disk_stale: &'static Counter,
+}
+
+pub(crate) fn cache_probes() -> &'static CacheProbes {
+    static PROBES: OnceLock<CacheProbes> = OnceLock::new();
+    PROBES.get_or_init(|| {
+        let reg = telemetry::registry();
+        CacheProbes {
+            hits: reg.counter("serve.cache.hits"),
+            misses: reg.counter("serve.cache.misses"),
+            evictions: reg.counter("serve.cache.evictions"),
+            disk_hits: reg.counter("serve.cache.disk_hits"),
+            disk_stale: reg.counter("serve.cache.disk_stale"),
+        }
+    })
+}

@@ -68,7 +68,9 @@ use distill_ir::FuncId;
 use distill_models::Scale;
 
 use crate::cache::{ArtifactCache, CacheStats};
+use crate::probes::{lane_depth_gauge, serve_probes};
 use crate::ServeError;
+use distill_telemetry as telemetry;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -273,6 +275,8 @@ struct Lane {
     /// Next unallocated trial index.
     cursor: usize,
     pending: VecDeque<PendingSeg>,
+    /// Telemetry gauge tracking this lane's submitted-but-unpacked trials.
+    depth: &'static telemetry::Gauge,
 }
 
 /// A segment of a packed span, remembered for demux.
@@ -282,6 +286,9 @@ struct Segment {
     trials: usize,
     tx: Sender<Part>,
     submitted: Instant,
+    /// When the segment was packed into this span; `submitted → packed` is
+    /// the telemetry wait time, `packed → demux` the service time.
+    packed: Instant,
 }
 
 /// Mutable portion of a span: its segments and accumulating results.
@@ -419,6 +426,16 @@ impl Server {
             cache: self.inner.cache.lock().unwrap().stats(),
         }
     }
+
+    /// The live-introspection call: freeze the process-wide telemetry
+    /// registry — queue depths, wait/service quantiles, cache and engine
+    /// counters — without stopping (or even pausing) the daemon. Render it
+    /// with [`distill_telemetry::TelemetrySnapshot::to_json`] for
+    /// dashboards; [`ClientSession::telemetry`] exposes the same surface to
+    /// connected clients.
+    pub fn telemetry(&self) -> telemetry::TelemetrySnapshot {
+        telemetry::snapshot()
+    }
 }
 
 impl Drop for Server {
@@ -440,6 +457,12 @@ impl ClientSession {
     /// Submit a request; returns immediately with a [`Ticket`].
     pub fn submit(&self, request: TrialRequest) -> Result<Ticket, ServeError> {
         self.inner.submit(request)
+    }
+
+    /// Query the serving daemon's telemetry without restarting it (see
+    /// [`Server::telemetry`]).
+    pub fn telemetry(&self) -> telemetry::TelemetrySnapshot {
+        telemetry::snapshot()
     }
 }
 
@@ -465,12 +488,21 @@ impl Inner {
                 tx,
                 submitted: Instant::now(),
             });
+            if telemetry::enabled() {
+                lane.depth.add(req.trials as i64);
+            }
             start
         };
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         self.counters
             .trials
             .fetch_add(req.trials as u64, Ordering::Relaxed);
+        if telemetry::enabled() {
+            let p = serve_probes();
+            p.requests.inc();
+            p.trials.add(req.trials as u64);
+            p.queue_depth.add(req.trials as i64);
+        }
         self.work_cv.notify_all();
         Ok(Ticket {
             family: req.family,
@@ -537,6 +569,7 @@ impl Inner {
             exec,
             cursor: 0,
             pending: VecDeque::new(),
+            depth: lane_depth_gauge(family),
         });
         Ok(st.lanes.len() - 1)
     }
@@ -618,6 +651,16 @@ fn pack_next_span(st: &mut State, inner: &Inner) -> bool {
         if span.coalesced {
             inner.counters.coalesced_spans.fetch_add(1, Ordering::Relaxed);
         }
+        if telemetry::enabled() {
+            let p = serve_probes();
+            p.spans.inc();
+            if span.coalesced {
+                p.coalesced_spans.inc();
+            }
+            p.span_trials.record(span.trials as u64);
+            p.queue_depth.add(-(span.trials as i64));
+            st.lanes[li].depth.add(-(span.trials as i64));
+        }
         st.spans.push(span);
         return true;
     }
@@ -642,12 +685,19 @@ fn pack_lane_span(lane: &mut Lane, lane_idx: usize, span_cap: usize) -> Arc<Span
             break;
         }
         let take = p.trials.min(span_cap - total);
+        let packed = Instant::now();
+        if telemetry::enabled() {
+            serve_probes()
+                .wait_ns
+                .record_duration(packed.duration_since(p.submitted));
+        }
         segments.push(Segment {
             offset_in_req: p.offset_in_req,
             start: p.start,
             trials: take,
             tx: p.tx.clone(),
             submitted: p.submitted,
+            packed,
         });
         p.start += take;
         p.trials -= take;
@@ -734,6 +784,10 @@ fn run_span_chunk(
     let engine = engines
         .entry(span.lane)
         .or_insert_with(|| exec.template.clone());
+    let mut chunk_span = telemetry::span("serve.chunk");
+    chunk_span.arg_i64("lane", span.lane as i64);
+    chunk_span.arg_i64("lo", lo as i64);
+    chunk_span.arg_i64("trials", n as i64);
     let result = (|| -> Result<(Vec<Vec<f64>>, Vec<u64>), ServeError> {
         let mut outs = Vec::with_capacity(n);
         let mut passes = Vec::with_capacity(n);
@@ -752,6 +806,9 @@ fn run_span_chunk(
                     .call(bf, &[Value::I64(lo as i64), Value::I64(n as i64)])
                     .map_err(exec_err)?;
                 inner.counters.batch_calls.fetch_add(1, Ordering::Relaxed);
+                if telemetry::enabled() {
+                    serve_probes().batch_calls.inc();
+                }
                 let o = engine
                     .read_global_f64_prefix(gn::BATCH_OUT, n * out_len)
                     .map_err(exec_err)?;
@@ -780,6 +837,7 @@ fn run_span_chunk(
         Ok((outs, passes))
     })();
 
+    drop(chunk_span);
     let mut work = span.work.lock().unwrap();
     match result {
         Ok((outs, passes)) => {
@@ -799,7 +857,13 @@ fn run_span_chunk(
 /// Send each segment of a completed span its slice of the results.
 fn demux_span(span: &SpanJob, work: &mut MutexGuard<'_, SpanWork>) {
     let segments = std::mem::take(&mut work.segments);
+    let probes_on = telemetry::enabled();
     for seg in segments {
+        if probes_on {
+            serve_probes()
+                .service_ns
+                .record_duration(seg.packed.elapsed());
+        }
         let part = match &work.failed {
             Some(e) => Part::Err(e.clone()),
             None => {

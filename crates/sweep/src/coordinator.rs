@@ -31,8 +31,10 @@
 //! the same offset-windowed `RunSpec`, so a missing binary or a hostile
 //! fault plan degrades throughput, never correctness.
 
+use crate::probes::{dsweep_probes, record_reissue};
 use crate::proto::{self, FaultPlan, Job, Msg, ProtoError};
 use crate::worker::{worker_main, WorkerCtx};
+use distill_telemetry::{self as telemetry, ArgValue};
 use distill::{
     compile, serialize_artifact, CompileConfig, DistillError, RunSpec, Runner, Session,
     ShardStats,
@@ -183,6 +185,9 @@ struct LeaseState {
     issued_to: Option<usize>,
     deadline: Option<Instant>,
     ready_at: Instant,
+    /// Trace timestamp of the current issue ([`telemetry::now_us`]); the
+    /// accepted result closes a `dsweep.lease` span started here.
+    issued_us: u64,
 }
 
 struct WorkerSlot {
@@ -250,6 +255,7 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
             issued_to: None,
             deadline: None,
             ready_at: now,
+            issued_us: 0,
         })
         .collect();
     let mut results: Vec<Option<LeaseOutput>> = (0..leases.len()).map(|_| None).collect();
@@ -372,6 +378,9 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 lease.ready_at = now + backoff(lease.attempts);
                 report.reissued += 1;
                 report.max_epoch = report.max_epoch.max(lease.epoch);
+                if telemetry::enabled() {
+                    record_reissue(lease.start, lease.count, lease.epoch, lease.attempts);
+                }
                 if lease.attempts > MAX_LEASE_ATTEMPTS {
                     undeliverable = Some(format!(
                         "lease [{}, +{}) exceeded {MAX_LEASE_ATTEMPTS} attempts",
@@ -427,6 +436,10 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 leases[li].issued_to = Some(slot_idx);
                 leases[li].deadline = Some(now + cfg.lease_timeout);
                 slots[slot_idx].busy_with = Some(li);
+                if telemetry::enabled() {
+                    leases[li].issued_us = telemetry::now_us();
+                    dsweep_probes().leases_issued.inc();
+                }
             } else {
                 bury_worker(slot_idx, &mut slots, &mut leases, &mut report, now);
             }
@@ -464,6 +477,9 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 if slot < slots.len() {
                     slots[slot].last_heartbeat = Instant::now();
                 }
+                if telemetry::enabled() {
+                    dsweep_probes().heartbeats.inc();
+                }
             }
             Ok(Event::Msg(slot, Msg::LeaseResult(r))) => {
                 if slot < slots.len() {
@@ -471,6 +487,7 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 }
                 let Some(li) = leases.iter().position(|l| l.start == r.start as usize) else {
                     report.fenced_stale += 1;
+                    record_fence(r.start as usize, r.epoch, "unknown-start");
                     continue;
                 };
                 // The sender is idle again either way.
@@ -480,6 +497,7 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 let lease = &mut leases[li];
                 if lease.done || r.epoch != lease.epoch {
                     report.fenced_stale += 1;
+                    record_fence(lease.start, r.epoch, "stale-epoch");
                     continue;
                 }
                 if r.outputs.len() != lease.count || r.passes.len() != lease.count {
@@ -491,6 +509,19 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                 lease.done = true;
                 lease.issued_to = None;
                 lease.deadline = None;
+                if telemetry::enabled() {
+                    dsweep_probes().leases_completed.inc();
+                    telemetry::complete_span_at(
+                        "dsweep.lease",
+                        lease.issued_us,
+                        vec![
+                            ("start", ArgValue::I64(lease.start as i64)),
+                            ("count", ArgValue::I64(lease.count as i64)),
+                            ("epoch", ArgValue::I64(lease.epoch as i64)),
+                            ("worker", ArgValue::I64(slot as i64)),
+                        ],
+                    );
+                }
                 results[li] = Some((r.outputs, r.passes));
                 report.shards.merge(&r.shards);
             }
@@ -595,6 +626,13 @@ fn bury_worker(
     slot.alive = false;
     slot.write = None;
     report.worker_deaths += 1;
+    if telemetry::enabled() {
+        dsweep_probes().worker_deaths.inc();
+        telemetry::instant(
+            "dsweep.worker_death",
+            vec![("worker", ArgValue::I64(slot_idx as i64))],
+        );
+    }
     if let Some(li) = slot.busy_with.take() {
         let lease = &mut leases[li];
         if !lease.done {
@@ -605,8 +643,27 @@ fn bury_worker(
             lease.ready_at = now + backoff(lease.attempts);
             report.reissued += 1;
             report.max_epoch = report.max_epoch.max(lease.epoch);
+            if telemetry::enabled() {
+                record_reissue(lease.start, lease.count, lease.epoch, lease.attempts);
+            }
         }
     }
+}
+
+/// Mirror a fenced (dropped) result into the telemetry layer.
+fn record_fence(start: usize, epoch: u32, reason: &'static str) {
+    if !telemetry::enabled() {
+        return;
+    }
+    dsweep_probes().fenced_stale.inc();
+    telemetry::instant(
+        "dsweep.fenced_result",
+        vec![
+            ("start", ArgValue::I64(start as i64)),
+            ("epoch", ArgValue::I64(epoch as i64)),
+            ("reason", ArgValue::Str(reason.into())),
+        ],
+    );
 }
 
 fn spawn_acceptor(

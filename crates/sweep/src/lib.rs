@@ -31,6 +31,7 @@ use distill_models::{registry, Scale, Tag, TargetKind, Workload, WorkloadSpec};
 use std::time::Instant;
 
 pub mod coordinator;
+pub(crate) mod probes;
 pub mod proto;
 pub mod worker;
 

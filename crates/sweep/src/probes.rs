@@ -1,0 +1,63 @@
+//! Telemetry probes for the distributed sweep.
+//!
+//! The coordinator's unit of work is the **lease**, and its lifecycle is
+//! what the probes narrate: `dsweep.leases_issued` / `dsweep.lease` spans
+//! when a window goes out, `dsweep.leases_completed` when its result is
+//! accepted, and — on the recovery paths — `dsweep.leases_reissued`,
+//! `dsweep.epoch_bumps`, `dsweep.fenced_stale` and `dsweep.worker_deaths`
+//! counters with matching instant events (`dsweep.lease_reissued`,
+//! `dsweep.worker_death`, `dsweep.fenced_result`). `dsweep.heartbeats`
+//! counts liveness traffic. Worker-side lease execution records
+//! `dsweep.worker_lease` spans (visible in-process for thread-mode
+//! workers; process-mode workers trace into their own process).
+//!
+//! A completed lease's span stretches from the moment its `Msg::Lease`
+//! frame was written to the moment the coordinator accepted the result —
+//! so a chrome trace shows every lease in flight, with re-issues appearing
+//! as instant markers between attempts.
+
+use distill_telemetry::{self as telemetry, Counter};
+use std::sync::OnceLock;
+
+pub(crate) struct DsweepProbes {
+    pub leases_issued: &'static Counter,
+    pub leases_completed: &'static Counter,
+    pub leases_reissued: &'static Counter,
+    pub epoch_bumps: &'static Counter,
+    pub fenced_stale: &'static Counter,
+    pub worker_deaths: &'static Counter,
+    pub heartbeats: &'static Counter,
+}
+
+pub(crate) fn dsweep_probes() -> &'static DsweepProbes {
+    static PROBES: OnceLock<DsweepProbes> = OnceLock::new();
+    PROBES.get_or_init(|| {
+        let reg = telemetry::registry();
+        DsweepProbes {
+            leases_issued: reg.counter("dsweep.leases_issued"),
+            leases_completed: reg.counter("dsweep.leases_completed"),
+            leases_reissued: reg.counter("dsweep.leases_reissued"),
+            epoch_bumps: reg.counter("dsweep.epoch_bumps"),
+            fenced_stale: reg.counter("dsweep.fenced_stale"),
+            worker_deaths: reg.counter("dsweep.worker_deaths"),
+            heartbeats: reg.counter("dsweep.heartbeats"),
+        }
+    })
+}
+
+/// Record a lease re-issue (deadline expiry or worker death): counters
+/// plus the instant event that marks the bump in the chrome trace.
+pub(crate) fn record_reissue(start: usize, count: usize, new_epoch: u32, attempts: u32) {
+    let p = dsweep_probes();
+    p.leases_reissued.inc();
+    p.epoch_bumps.inc();
+    telemetry::instant(
+        "dsweep.lease_reissued",
+        vec![
+            ("start", telemetry::ArgValue::I64(start as i64)),
+            ("count", telemetry::ArgValue::I64(count as i64)),
+            ("epoch", telemetry::ArgValue::I64(new_epoch as i64)),
+            ("attempts", telemetry::ArgValue::I64(attempts as i64)),
+        ],
+    );
+}

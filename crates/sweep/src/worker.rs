@@ -94,10 +94,16 @@ pub fn worker_main(stream: UnixStream, ctx: WorkerCtx) -> Result<(), String> {
                     .with_batch(job.batch.max(1) as usize)
                     .with_shards(job.threads.max(1) as usize)
                     .with_offset(start as usize);
+                let mut lease_span = distill_telemetry::span("dsweep.worker_lease");
+                lease_span.arg_i64("worker", ctx.worker as i64);
+                lease_span.arg_i64("start", start as i64);
+                lease_span.arg_i64("count", count as i64);
+                lease_span.arg_i64("epoch", epoch as i64);
                 let result = match runner.run(&lease_spec) {
                     Ok(r) => r,
                     Err(e) => break Err(format!("lease [{start}, +{count}) failed: {e}")),
                 };
+                drop(lease_span);
                 let mut shards = result.shards.unwrap_or(ShardStats {
                     threads: 1,
                     chunks: 1,
