@@ -37,6 +37,14 @@ echo "== serving smoke (bounded open-loop run, served-vs-solo bit-identity, trac
 # well-formed trace_event JSON containing the documented serve spans.
 cargo run --release -p distill-serve --example open_loop_smoke
 
+echo "== serving chaos smoke (seeded worker panic absorbed, all responses still served bit-identically)"
+# Same smoke with a chaos plan armed through the unified DISTILL_CHAOS
+# injector: one worker panic fires mid-run on trial 3, the panicked chunk
+# is quarantined, its span-mates are requeued, the client retries the
+# quarantined range, and the run must still complete every request with
+# responses bitwise identical to solo reruns (exit non-zero otherwise).
+DISTILL_CHAOS="panic=3,seed=7"   cargo run --release -p distill-serve --example open_loop_smoke
+
 echo "== distributed sweep smoke (2 worker processes, injected kill, bitwise vs serial, trace export)"
 # Spawns a coordinator plus two true worker processes over local sockets,
 # kills one worker mid-sweep via the seeded fault plan, and requires the
@@ -52,8 +60,9 @@ echo "== figures (reduced workloads incl. the sweep + fused + tiers + serve + ds
 # verified) — `fused` (the superinstruction path vs the unfused predecoded
 # interpreter), `tiers` (direct-threaded dispatch vs the fused
 # interpreter, plus the adaptive tier-up probe), `serve` (the serving
-# daemon's coalesced throughput vs sequential solo replay) and `dsweep`
-# (the distributed sweep with a seeded worker kill vs serial) and
+# daemon's coalesced throughput vs sequential solo replay), `dsweep`
+# (the distributed sweep with a seeded worker kill vs serial), `chaos`
+# (open-loop serving clean vs with a seeded worker panic absorbed) and
 # `telemetry` (the probe layer's fused-tier cost with telemetry on vs the
 # kill switch thrown), all of which the gates below read.
 cargo run --release -p distill-bench --bin figures
@@ -93,6 +102,6 @@ cargo run --release -p distill-bench --bin bench-diff -- \
   --threshold 1.5 --min-seconds 0.1 \
   --min-interp-speedup 2.0 --min-sweep-speedup 1.5 --min-fused-speedup 1.15 \
   --min-threaded-speedup 1.05 --min-serve-throughput 0.75 \
-  --max-dsweep-overhead 6.0 --max-telemetry-overhead 1.05
+  --max-dsweep-overhead 6.0 --max-chaos-overhead 6.0 --max-telemetry-overhead 1.05
 
 echo "CI OK"

@@ -36,6 +36,13 @@
 //!                           recovery-was-exercised check (a worker death
 //!                           and >= 1 re-issued lease whenever workers
 //!                           actually connected) are unconditional.
+//!   --max-chaos-overhead X  upper bound on the `chaos` figure's
+//!                           `chaos_overhead` (clean open-loop serving
+//!                           throughput over the same load with a seeded
+//!                           worker panic absorbed; default 6.0; 0
+//!                           disables). The chaos identity flag, the
+//!                           panic-was-exercised check, and the
+//!                           zero-failed-requests check are unconditional.
 //!   --max-telemetry-overhead X upper bound on the `telemetry` figure's
 //!                           `overhead_ratio` (fused-tier per-trial cost
 //!                           with probes live over the same run with the
@@ -88,6 +95,7 @@ struct Options {
     min_threaded_speedup: f64,
     min_serve_throughput: f64,
     max_dsweep_overhead: f64,
+    max_chaos_overhead: f64,
     max_telemetry_overhead: f64,
 }
 
@@ -96,7 +104,7 @@ fn usage() -> ! {
         "usage: bench-diff BASELINE.json CURRENT.json [MORE.json ...] [--threshold R] \
          [--min-seconds S] [--mad-k K] [--min-interp-speedup X] [--min-sweep-speedup X] \
          [--min-fused-speedup X] [--min-threaded-speedup X] [--min-serve-throughput X] \
-         [--max-dsweep-overhead X] [--max-telemetry-overhead X]"
+         [--max-dsweep-overhead X] [--max-chaos-overhead X] [--max-telemetry-overhead X]"
     );
     exit(2);
 }
@@ -114,6 +122,7 @@ fn parse_args() -> Options {
         min_threaded_speedup: 1.05,
         min_serve_throughput: 0.75,
         max_dsweep_overhead: 6.0,
+        max_chaos_overhead: 6.0,
         max_telemetry_overhead: 1.05,
     };
     let mut i = 0;
@@ -135,6 +144,7 @@ fn parse_args() -> Options {
             "--min-threaded-speedup" => opts.min_threaded_speedup = flag_value(&mut i),
             "--min-serve-throughput" => opts.min_serve_throughput = flag_value(&mut i),
             "--max-dsweep-overhead" => opts.max_dsweep_overhead = flag_value(&mut i),
+            "--max-chaos-overhead" => opts.max_chaos_overhead = flag_value(&mut i),
             "--max-telemetry-overhead" => opts.max_telemetry_overhead = flag_value(&mut i),
             other if other.starts_with("--") => usage(),
             other => opts.paths.push(other.to_string()),
@@ -541,6 +551,41 @@ fn gate_newest(newest: &Snapshot, opts: &Options, v: &mut Verdicts) {
                     opts.max_dsweep_overhead
                 )),
                 None => v.fail("dsweep record lacks recovery_overhead".to_string()),
+            }
+        }
+    }
+    if let Some(chaos) = find(&newest.figures, "figure", "chaos") {
+        // The resilience contract: a worker panic is absorbed (caught,
+        // quarantined, retried) without one byte of divergence and without
+        // dropping a request; only the throughput cost of absorbing it is
+        // tunable.
+        if stat(chaos, &["all_identical"]).and_then(Json::as_bool) != Some(true) {
+            v.fail("chaos serving run diverged from its solo sweep".to_string());
+        }
+        match stat(chaos, &["worker_panics"]).and_then(Json::as_f64) {
+            Some(p) if p >= 1.0 => v.note(format!(
+                "{:<38} {p:.0} panic(s) absorbed  ok",
+                "chaos quarantine gate"
+            )),
+            Some(_) => v.fail("chaos fault run caught no worker panic".to_string()),
+            None => v.fail("chaos record lacks worker_panics".to_string()),
+        }
+        match stat(chaos, &["failed"]).and_then(Json::as_f64) {
+            Some(0.0) => {}
+            Some(f) => v.fail(format!("chaos run dropped {f:.0} request(s) past retry")),
+            None => v.fail("chaos record lacks failed".to_string()),
+        }
+        if opts.max_chaos_overhead > 0.0 {
+            match stat(chaos, &["chaos_overhead"]).and_then(Json::as_f64) {
+                Some(o) if o <= opts.max_chaos_overhead => v.note(format!(
+                    "{:<38} x{o:.3} (<= x{:.1})  ok",
+                    "chaos absorption overhead gate", opts.max_chaos_overhead
+                )),
+                Some(o) => v.fail(format!(
+                    "chaos absorption overhead x{o:.3} above allowed x{:.1}",
+                    opts.max_chaos_overhead
+                )),
+                None => v.fail("chaos record lacks chaos_overhead".to_string()),
             }
         }
     }

@@ -13,6 +13,7 @@
 //! figures --sweep        # sweep subsystem: serial vs sharded+batched
 //! figures --serve        # serving daemon: coalesced vs solo replay
 //! figures --dsweep       # distributed sweep: lease recovery vs serial
+//! figures --chaos        # serving under a seeded worker panic vs clean
 //! figures --telemetry    # telemetry probes: overhead on vs kill switch off
 //! figures --out DIR      # where JSON reports go (default bench_results/)
 //! ```
@@ -114,9 +115,9 @@ impl Emitter {
 }
 
 fn main() {
-    const FIGS: [&str; 16] = [
+    const FIGS: [&str; 17] = [
         "2", "3", "4", "5a", "5b", "5c", "6", "7", "batched", "interp", "sweep", "fused",
-        "tiers", "serve", "dsweep", "telemetry",
+        "tiers", "serve", "dsweep", "chaos", "telemetry",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Strict parse: a typo like `--ful` must not silently fall back to the
@@ -243,6 +244,16 @@ fn main() {
                 }
                 _ => fig = Some("dsweep".to_string()),
             },
+            // Shorthand for `--fig chaos`: the serving daemon's
+            // resilience datapoint — open-loop throughput clean vs with a
+            // seeded worker panic absorbed, full-space bit-identity after.
+            "--chaos" => match &fig {
+                Some(f) if f != "chaos" => {
+                    eprintln!("error: --chaos conflicts with --fig {f}");
+                    std::process::exit(2);
+                }
+                _ => fig = Some("chaos".to_string()),
+            },
             // Shorthand for `--fig telemetry`: the telemetry layer's
             // overhead bound — fused-tier per-trial cost with probes live
             // vs the kill switch thrown, plus kill-switch bit-identity.
@@ -256,8 +267,8 @@ fn main() {
             other => {
                 eprintln!("error: unrecognized argument '{other}'");
                 eprintln!(
-                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve|dsweep|telemetry] \
-                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--dsweep] [--telemetry] \
+                    "usage: figures [--fig 2|3|4|5a|5b|5c|6|7|batched|interp|sweep|fused|tiers|serve|dsweep|chaos|telemetry] \
+                     [--batched] [--interp] [--sweep] [--fused] [--tiers] [--serve] [--dsweep] [--chaos] [--telemetry] \
                      [--full] [--out DIR]"
                 );
                 std::process::exit(2);
@@ -375,6 +386,15 @@ fn main() {
         emit.figure("dsweep", || {
             let (trials, workers, threads) = if full { (480, 4, 2) } else { (96, 2, 2) };
             let r = bench::fig_dsweep(trials, workers, threads);
+            (r.render(), r.to_json())
+        });
+    }
+
+    if want("chaos") {
+        emit.figure("chaos", || {
+            let (requests, trials, clients, workers) =
+                if full { (200, 16, 8, 4) } else { (32, 6, 4, 2) };
+            let r = bench::fig_chaos(requests, trials, clients, workers);
             (r.render(), r.to_json())
         });
     }

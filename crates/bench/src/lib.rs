@@ -1666,6 +1666,7 @@ pub fn fig_serve(
         trials_per_request,
         clients,
         arrival_interval: std::time::Duration::from_micros(100),
+        ..TrafficConfig::default()
     };
 
     // Paired samples: each drives the open-loop traffic, then immediately
@@ -1902,6 +1903,226 @@ pub fn fig_dsweep(trials: usize, workers: usize, threads: usize) -> DsweepFigure
         fenced_stale: fault.fenced_stale,
         fault_mode: fault.mode,
     }
+}
+
+/// `figures --chaos`: the serving daemon's resilience datapoint — the same
+/// open-loop load run clean and with a seeded mid-run worker panic, on the
+/// anchor family. The figure of record is bit-identity of the entire served
+/// trial space after the chaos run (quarantine + client retry must leave no
+/// byte different from a solo pass) plus the throughput cost of absorbing
+/// the fault.
+#[derive(Debug, Clone)]
+pub struct ChaosFigure {
+    /// Family the comparison runs on.
+    pub family: String,
+    /// Requests per open-loop run.
+    pub requests: usize,
+    /// Trials per request.
+    pub trials_per_request: usize,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Server executor threads.
+    pub workers: usize,
+    /// Absolute trial index the fault run's injected panic is armed on.
+    pub panic_trial: usize,
+    /// Served trials per second, clean run (best paired sample).
+    pub clean_tps: f64,
+    /// Served trials per second with the panic absorbed (same sample).
+    pub fault_tps: f64,
+    /// `clean_tps / fault_tps` — what absorbing one worker panic (chunk
+    /// quarantine, span-mate requeue, client retry) costs end to end.
+    pub chaos_overhead: f64,
+    /// Whether every full-trial-space sweep (clean run and fault run)
+    /// matched a solo rerun bit for bit.
+    pub all_identical: bool,
+    /// Worker panics caught in the fault run (exactly the armed one).
+    pub worker_panics: u64,
+    /// Trials requeued after sharing a span with the panicked chunk.
+    pub requeued_trials: u64,
+    /// Submissions shed by admission control in the fault run.
+    pub shed: u64,
+    /// Client-side retry attempts the fault run consumed.
+    pub retries: u64,
+    /// Requests that failed past retry (the gate requires 0).
+    pub failed: usize,
+}
+
+impl ChaosFigure {
+    /// Render the chaos comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Chaos: serving under a seeded worker panic on {} ({} requests x {} trials, {} clients, {} workers)",
+            self.family, self.requests, self.trials_per_request, self.clients, self.workers
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9.0} trials/s",
+            "open loop (clean)", self.clean_tps
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9.0} trials/s   identical: {}",
+            format!("open loop (panic on {})", self.panic_trial),
+            self.fault_tps,
+            self.all_identical
+        );
+        let _ = writeln!(
+            out,
+            "  absorption: x{:.3} overhead, {} panic(s) caught, {} trial(s) requeued, \
+             {} client retry(ies), {} shed, {} failed",
+            self.chaos_overhead,
+            self.worker_panics,
+            self.requeued_trials,
+            self.retries,
+            self.shed,
+            self.failed
+        );
+        out
+    }
+
+    /// The figure as a JSON object (consumed by `bench-diff`'s chaos gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("family", Json::str(&self.family)),
+            ("requests", self.requests.into()),
+            ("trials_per_request", self.trials_per_request.into()),
+            ("clients", self.clients.into()),
+            ("workers", self.workers.into()),
+            ("panic_trial", self.panic_trial.into()),
+            ("clean_tps", self.clean_tps.into()),
+            ("fault_tps", self.fault_tps.into()),
+            ("chaos_overhead", self.chaos_overhead.into()),
+            ("all_identical", self.all_identical.into()),
+            ("worker_panics", self.worker_panics.into()),
+            ("requeued_trials", self.requeued_trials.into()),
+            ("shed", self.shed.into()),
+            ("retries", self.retries.into()),
+            ("failed", self.failed.into()),
+        ])
+    }
+}
+
+/// One open-loop run against a fresh server, returning throughput, the
+/// server's resilience counters, and whether a full sweep of the served
+/// trial space matches a solo rerun bitwise.
+fn chaos_sample(
+    requests: usize,
+    trials_per_request: usize,
+    clients: usize,
+    workers: usize,
+) -> (f64, distill_serve::ServeStats, u64, usize, bool) {
+    use distill_serve::{run_open_loop, ServeConfig, Server, TrafficConfig, TrialRequest};
+    let server = Server::start(ServeConfig {
+        workers,
+        batch: 8,
+        ..ServeConfig::default()
+    });
+    let traffic = TrafficConfig {
+        families: vec![ANCHOR_FAMILY.to_string()],
+        requests,
+        trials_per_request,
+        clients,
+        arrival_interval: std::time::Duration::from_micros(100),
+        ..TrafficConfig::default()
+    };
+    let report = run_open_loop(&server, &traffic).expect("open-loop chaos sample");
+    // Identity: one request re-serving the whole trial space through the
+    // span scheduler vs a solo pass outside it. Any byte the fault path
+    // corrupted — a half-requeued segment, a stale engine global after the
+    // quarantined chunk — shows up here.
+    let total = requests * trials_per_request;
+    let sweep = server
+        .submit(TrialRequest {
+            family: ANCHOR_FAMILY.to_string(),
+            trials: total,
+            start: Some(0),
+            deadline: None,
+        })
+        .expect("sweep submit")
+        .wait()
+        .expect("sweep wait");
+    let solo = server
+        .run_solo(ANCHOR_FAMILY, 0, total)
+        .expect("sweep solo");
+    let identical = outputs_bits_equal(&sweep.outputs, &solo.outputs) && sweep.passes == solo.passes;
+    (
+        report.throughput_tps,
+        server.stats(),
+        report.retries,
+        report.failed.len(),
+        identical,
+    )
+}
+
+/// Paired clean/faulted open-loop serving runs: each sample times a clean
+/// run and a run with a panic armed on a mid-space trial, back to back in
+/// one window so host drift hits both sides; the best (lowest) overhead
+/// ratio is reported, like the serve figure's throughput gate.
+pub fn fig_chaos(
+    requests: usize,
+    trials_per_request: usize,
+    clients: usize,
+    workers: usize,
+) -> ChaosFigure {
+    use distill::chaos::{self, ChaosPlan};
+    let total = requests * trials_per_request;
+    let panic_trial = total / 2;
+
+    const SAMPLES: usize = 3;
+    let mut best: Option<ChaosFigure> = None;
+    for _ in 0..SAMPLES {
+        chaos::disarm();
+        let (clean_tps, _, _, clean_failed, clean_identical) =
+            chaos_sample(requests, trials_per_request, clients, workers);
+        assert_eq!(clean_failed, 0, "clean open-loop run dropped requests");
+
+        ChaosPlan {
+            panic_trial: Some(panic_trial),
+            seed: 0xC4A05,
+            ..ChaosPlan::default()
+        }
+        .install();
+        let (fault_tps, stats, retries, failed, fault_identical) =
+            chaos_sample(requests, trials_per_request, clients, workers);
+        chaos::disarm();
+
+        let sample = ChaosFigure {
+            family: ANCHOR_FAMILY.to_string(),
+            requests,
+            trials_per_request,
+            clients,
+            workers,
+            panic_trial,
+            clean_tps,
+            fault_tps,
+            chaos_overhead: clean_tps / fault_tps.max(1e-12),
+            all_identical: clean_identical && fault_identical,
+            worker_panics: stats.worker_panics,
+            requeued_trials: stats.requeued_trials,
+            shed: stats.shed,
+            retries,
+            failed,
+        };
+        // Identity and typed-failure results must hold on *every* sample
+        // (they accumulate); only the timing ratio picks the best window.
+        match &mut best {
+            None => best = Some(sample),
+            Some(b) => {
+                let all_identical = b.all_identical && sample.all_identical;
+                let failed = b.failed + sample.failed;
+                let panics = b.worker_panics.max(sample.worker_panics);
+                if sample.chaos_overhead < b.chaos_overhead {
+                    *b = sample;
+                }
+                b.all_identical = all_identical;
+                b.failed = failed;
+                b.worker_panics = panics;
+            }
+        }
+    }
+    best.expect("at least one chaos sample")
 }
 
 /// `figures --telemetry`: the telemetry layer's overhead bound — the fused

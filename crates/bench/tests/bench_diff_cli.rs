@@ -250,6 +250,47 @@ fn serve_gate_fails_on_slow_or_divergent_serving() {
 }
 
 #[test]
+fn chaos_gate_fails_on_divergence_missed_panic_or_costly_absorption() {
+    let dir = tmpdir("chaosgate");
+    let chaos = |overhead: f64, identical: bool, panics: u64, failed: u64| {
+        format!(
+            r#"{{"figures":[{{"figure":"chaos","full_scale":false,"elapsed_s":1.0,
+               "data":{{"clean_tps":900.0,"fault_tps":700.0,
+                 "chaos_overhead":{overhead},"all_identical":{identical},
+                 "worker_panics":{panics},"failed":{failed}}}}}]}}"#
+        )
+    };
+    let base = write(&dir, "base.json", &chaos(1.2, true, 1, 0));
+    let ok = write(&dir, "ok.json", &chaos(1.3, true, 1, 0));
+    let costly = write(&dir, "costly.json", &chaos(9.0, true, 1, 0));
+    let split = write(&dir, "split.json", &chaos(1.2, false, 1, 0));
+    let calm = write(&dir, "calm.json", &chaos(1.2, true, 0, 0));
+    let dropped = write(&dir, "dropped.json", &chaos(1.2, true, 1, 2));
+    let (code, text) = diff(&[&base, &ok]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("chaos quarantine gate"), "{text}");
+    assert!(text.contains("chaos absorption overhead gate"), "{text}");
+    let (code, text) = diff(&[&base, &costly]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("chaos absorption overhead"), "{text}");
+    let (code, text) = diff(&[&base, &split]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("diverged from its solo sweep"), "{text}");
+    let (code, text) = diff(&[&base, &calm]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("caught no worker panic"), "{text}");
+    let (code, text) = diff(&[&base, &dropped]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("past retry"), "{text}");
+    // 0 disables the overhead gate (identity, panic and zero-failed checks
+    // stay unconditional).
+    let (code, text) = diff(&[&base, &costly, "--max-chaos-overhead", "0"]);
+    assert_eq!(code, 0, "{text}");
+    let (code, _) = diff(&[&base, &split, "--max-chaos-overhead", "0"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
 fn scale_mismatch_is_refused() {
     let dir = tmpdir("scale");
     let base = write(&dir, "base.json", &figure_snapshot(1.0));

@@ -191,7 +191,10 @@ pub fn write_artifact(path: &Path, compiled: &CompiledModel) -> Result<(), Artif
 /// # Errors
 /// Same surface as [`deserialize_artifact`], plus [`ArtifactError::Io`].
 pub fn read_artifact(path: &Path) -> Result<CompiledModel, ArtifactError> {
-    let bytes = std::fs::read(path)?;
+    let mut bytes = std::fs::read(path)?;
+    // Chaos seam: an armed plan flips one byte here, which must surface
+    // through the codec's integrity checks below, never as a bad artifact.
+    crate::chaos::corrupt_artifact_read(&mut bytes);
     deserialize_artifact(&bytes)
 }
 

@@ -59,6 +59,7 @@ pub use distill_opt::OptLevel;
 pub use distill_pyvm::ExecMode;
 
 pub mod artifact;
+pub mod chaos;
 mod runner;
 mod session;
 #[doc(hidden)]
@@ -68,6 +69,7 @@ pub use artifact::{
     artifact_key, deserialize_artifact, read_artifact, serialize_artifact, write_artifact,
     ArtifactError, ARTIFACT_VERSION,
 };
+pub use chaos::ChaosPlan;
 pub use runner::{RunResult, RunSpec, Runner, ShardStats};
 pub use session::{Session, Target};
 

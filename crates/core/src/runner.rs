@@ -725,7 +725,8 @@ fn run_trial_chunk(
     n: usize,
 ) -> Result<(Vec<Vec<f64>>, Vec<u64>), DistillError> {
     let out_len = layout.trial_output_len;
-    crate::test_hooks::check_panic_trial(lo, n);
+    crate::chaos::chunk_delay();
+    crate::chaos::check_panic_trial(lo, n);
     let mut outs = Vec::with_capacity(n);
     let mut passes = Vec::with_capacity(n);
     match batch_fn {

@@ -1,49 +1,17 @@
 //! Deterministic fault hooks for robustness tests.
 //!
-//! Production code must never depend on this module; it exists so
-//! integration tests can inject a failure at a precisely chosen point in an
-//! otherwise healthy run — e.g. panic a shard worker mid-sweep and assert
-//! the driver surfaces a typed [`crate::DistillError`] instead of hanging a
-//! join or returning a silent partial result. Hooks are process-global
-//! atomics, so tests that arm one should run in their own process (their own
-//! integration-test binary) or disarm it before returning.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Sentinel meaning "no trial armed".
-const DISARMED: usize = usize::MAX;
-
-static PANIC_TRIAL: AtomicUsize = AtomicUsize::new(DISARMED);
+//! Superseded by the unified chaos injector in [`crate::chaos`], which
+//! generalizes this module's single trial-panic hook into a seeded,
+//! schedule-driven fault plan shared by the serving daemon, the
+//! distributed sweep and the tests. This shim keeps the original arming
+//! surface working for existing suites; new code should arm a
+//! [`crate::chaos::ChaosPlan`] instead.
 
 /// Arm (or with `None` disarm) a panic on the given absolute trial index:
 /// the next chunk whose window covers that trial panics before executing,
-/// on whatever thread picked the chunk up.
+/// on whatever thread picked the chunk up. Delegates to
+/// [`crate::chaos::panic_on_trial`]; note the chaos semantics — the fault
+/// fires once, then self-disarms.
 pub fn panic_on_trial(trial: Option<usize>) {
-    PANIC_TRIAL.store(trial.unwrap_or(DISARMED), Ordering::SeqCst);
-}
-
-/// Called by the trial-chunk executor with its `[lo, lo + n)` window; panics
-/// when the armed trial falls inside it.
-pub(crate) fn check_panic_trial(lo: usize, n: usize) {
-    let t = PANIC_TRIAL.load(Ordering::SeqCst);
-    if t != DISARMED && t >= lo && t < lo + n {
-        panic!("test hook: injected panic on trial {t}");
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disarmed_hook_is_inert_and_armed_hook_fires_in_window() {
-        check_panic_trial(0, 1000);
-        panic_on_trial(Some(7));
-        check_panic_trial(0, 7); // window [0, 7) does not include 7
-        check_panic_trial(8, 100);
-        let hit = std::panic::catch_unwind(|| check_panic_trial(0, 8));
-        panic_on_trial(None);
-        assert!(hit.is_err(), "armed trial inside the window must panic");
-        check_panic_trial(0, 1000);
-    }
+    crate::chaos::panic_on_trial(trial);
 }

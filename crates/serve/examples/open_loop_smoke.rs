@@ -3,6 +3,11 @@
 //! bitwise against solo reruns. Exits non-zero on any mismatch, so CI can
 //! gate on it directly.
 //!
+//! With `DISTILL_CHAOS` set (e.g. `panic=3,seed=7`) the smoke becomes the
+//! resilience check: the injected worker panic must be absorbed by the
+//! quarantine + client-retry path, every request must still complete, and
+//! the surviving responses must stay bit-identical to solo reruns.
+//!
 //! The smoke doubles as the serving trace-export check: after the run it
 //! writes the daemon's chrome://tracing export to
 //! `bench_results/trace_serve.json`, re-parses it with the in-repo JSON
@@ -54,6 +59,12 @@ fn main() {
         .collect();
     assert!(!families.is_empty(), "registry has no Tag::Serve families");
 
+    // Server::start installs this plan; parse it here too so the smoke
+    // knows whether it is exercising the resilience path.
+    let chaos = distill::chaos::ChaosPlan::from_env()
+        .unwrap_or_else(|e| panic!("bad {} spec: {e}", distill::chaos::CHAOS_ENV));
+    let chaos_armed = !chaos.is_inert();
+
     let server = Server::start(ServeConfig {
         workers: 2,
         batch: 16,
@@ -65,10 +76,32 @@ fn main() {
         trials_per_request: 6,
         clients: 4,
         arrival_interval: Duration::from_micros(100),
+        ..TrafficConfig::default()
     };
     let report = run_open_loop(&server, &traffic).expect("open-loop run failed");
+    assert!(
+        report.failed.is_empty(),
+        "requests failed past retry: {:?}",
+        report.failed
+    );
     assert_eq!(report.requests, traffic.requests, "requests went missing");
     assert_eq!(report.trials, traffic.requests * traffic.trials_per_request);
+    if chaos_armed && chaos.panic_trial.is_some() {
+        let stats = server.stats();
+        assert_eq!(
+            stats.worker_panics, 1,
+            "armed chaos panic did not fire exactly once"
+        );
+        assert!(
+            report.retries >= 1,
+            "quarantined request was not retried by the client"
+        );
+        println!(
+            "serve smoke chaos: absorbed {} worker panic(s), requeued {} trial(s), \
+             {} client retry(ies); all responses served",
+            stats.worker_panics, stats.requeued_trials, report.retries
+        );
+    }
 
     // Identity check: a concurrent burst per family (forcing coalesced
     // spans) must match the same ranges rerun alone, bit for bit.

@@ -168,7 +168,14 @@ impl ArtifactCache {
         }
         let compiled = match loaded {
             Some(compiled) => compiled,
-            None => compile(model, config).map_err(|e| ServeError::Build(e.to_string()))?,
+            None => {
+                // Chaos seam: an armed build-panic fires here, before any
+                // state is touched — a mid-build panic must leave no
+                // half-inserted entry (the insert below only runs after a
+                // successful compile).
+                distill::chaos::check_panic_build(family);
+                compile(model, config).map_err(|e| ServeError::Build(e.to_string()))?
+            }
         };
         if refresh_disk {
             if let (Some(dir), Some(path)) = (&self.disk_dir, &path) {

@@ -43,7 +43,7 @@ pub use distill_telemetry::TelemetrySnapshot;
 pub use server::{
     ClientSession, ServeConfig, ServeStats, Server, Ticket, TrialRequest, TrialResponse,
 };
-pub use traffic::{run_open_loop, RequestRecord, TrafficConfig, TrafficReport};
+pub use traffic::{run_open_loop, FailedRequest, RequestRecord, TrafficConfig, TrafficReport};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +59,22 @@ pub enum ServeError {
     Disconnected,
     /// The execution engine failed while running a span.
     Exec(String),
+    /// The request's [`server::TrialRequest::deadline`] expired while it
+    /// was still queued; it was never executed.
+    DeadlineExceeded,
+    /// The lane's queue is past its admission high-watermark
+    /// ([`server::ServeConfig::lane_capacity`]); the request was shed
+    /// without being queued. The hint estimates when the backlog will have
+    /// drained, from the lane's observed per-trial service time.
+    Overloaded {
+        /// Suggested client-side pause before resubmitting.
+        retry_after_hint: std::time::Duration,
+    },
+    /// A worker thread panicked while executing a span chunk covering this
+    /// request. Other requests coalesced into the same span are requeued
+    /// and re-served; only the requests overlapping the panicked chunk get
+    /// this error. Carries the panic message.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -69,6 +85,17 @@ impl std::fmt::Display for ServeError {
             ServeError::Build(msg) => write!(f, "artifact build failed: {msg}"),
             ServeError::Disconnected => write!(f, "server shut down"),
             ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before execution")
+            }
+            ServeError::Overloaded { retry_after_hint } => write!(
+                f,
+                "lane over its admission watermark; retry after ~{:?}",
+                retry_after_hint
+            ),
+            ServeError::WorkerPanicked(msg) => {
+                write!(f, "worker panicked while serving the request: {msg}")
+            }
         }
     }
 }

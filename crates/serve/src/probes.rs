@@ -16,6 +16,12 @@
 //!   result-assembly delay).
 //! * `serve.span_trials` — size histogram of packed spans: how much
 //!   coalescing each pack actually achieved.
+//! * `serve.lane.shed`, `serve.deadline_expired`, `serve.worker.panics`,
+//!   `serve.requeued_trials` — the resilience counters: submissions shed
+//!   by admission control, queued segments rejected for expired deadlines,
+//!   span chunks lost to a caught worker panic, and trials requeued (and
+//!   re-served bit-identically) after sharing a span with a panicked
+//!   chunk. Mirrors of the corresponding [`crate::ServeStats`] fields.
 //! * `serve.cache.{hits,misses,evictions,disk_hits,disk_stale}` — mirrors
 //!   of [`crate::cache::CacheStats`].
 //!
@@ -33,6 +39,10 @@ pub(crate) struct ServeProbes {
     pub coalesced_spans: &'static Counter,
     pub batch_calls: &'static Counter,
     pub queue_depth: &'static Gauge,
+    pub shed: &'static Counter,
+    pub expired: &'static Counter,
+    pub worker_panics: &'static Counter,
+    pub requeued: &'static Counter,
     pub wait_ns: &'static Histogram,
     pub service_ns: &'static Histogram,
     pub span_trials: &'static Histogram,
@@ -49,6 +59,10 @@ pub(crate) fn serve_probes() -> &'static ServeProbes {
             coalesced_spans: reg.counter("serve.coalesced_spans"),
             batch_calls: reg.counter("serve.batch_calls"),
             queue_depth: reg.gauge("serve.queue_depth"),
+            shed: reg.counter("serve.lane.shed"),
+            expired: reg.counter("serve.deadline_expired"),
+            worker_panics: reg.counter("serve.worker.panics"),
+            requeued: reg.counter("serve.requeued_trials"),
             wait_ns: reg.histogram("serve.wait_ns"),
             service_ns: reg.histogram("serve.service_ns"),
             span_trials: reg.histogram("serve.span_trials"),

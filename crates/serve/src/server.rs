@@ -53,6 +53,29 @@
 //! sequence of engine operations the offline driver performs — the
 //! serial/sharded bit-identity the core runner guarantees extends to the
 //! serving path.
+//!
+//! # Resilience
+//!
+//! Three failure seams are typed rather than fatal, and all three preserve
+//! bit-transparency for every request they do not reject:
+//!
+//! * **Deadlines** — a request may carry a latency budget
+//!   ([`TrialRequest::deadline`]). Budgets are checked at pack time:
+//!   a segment still queued past its deadline is rejected with
+//!   [`ServeError::DeadlineExceeded`] and never packed, so an expired
+//!   request is refused loudly instead of being served late.
+//! * **Admission control** — [`ServeConfig::lane_capacity`] bounds each
+//!   lane's queued trials; a submission past the high-watermark is shed
+//!   with [`ServeError::Overloaded`], whose `retry_after_hint` is derived
+//!   from the lane's observed per-trial service time.
+//! * **Worker-panic quarantine** — a chunk that panics (engine bug or an
+//!   armed [`distill::chaos`] plan) is caught at the span boundary on the
+//!   worker. The panicking worker drops its engine/staging clones for the
+//!   lane, the requests overlapping the lost chunk get
+//!   [`ServeError::WorkerPanicked`], and every *other* segment of the span
+//!   is requeued at the front of its lane and re-served — bit-identically,
+//!   because segments carry absolute trial indices and re-execution is the
+//!   same deterministic chunk sequence. The server itself never unwinds.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +118,11 @@ pub struct ServeConfig {
     pub compile: CompileConfig,
     /// Workload scale used when resolving a family from the registry.
     pub scale: Scale,
+    /// Admission high-watermark per lane, in queued (submitted-but-not-yet
+    /// packed) trials: a submission that would push a lane past it is shed
+    /// with [`ServeError::Overloaded`]. `0` (the default) disables
+    /// shedding, preserving the unbounded-queue behavior.
+    pub lane_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +135,7 @@ impl Default for ServeConfig {
             disk_dir: None,
             compile: CompileConfig::default(),
             scale: Scale::Reduced,
+            lane_capacity: 0,
         }
     }
 }
@@ -122,6 +151,11 @@ pub struct TrialRequest {
     /// common case) lets the server allocate the next contiguous range,
     /// which is what makes back-to-back requests coalescible.
     pub start: Option<usize>,
+    /// Optional latency budget, measured from submission. A request still
+    /// queued when the budget expires is rejected with
+    /// [`ServeError::DeadlineExceeded`] at the next pack instead of being
+    /// served late; `None` (the default) never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl TrialRequest {
@@ -131,7 +165,14 @@ impl TrialRequest {
             family: family.into(),
             trials,
             start: None,
+            deadline: None,
         }
+    }
+
+    /// Attach a latency budget (see [`TrialRequest::deadline`]).
+    pub fn with_deadline(mut self, budget: Duration) -> TrialRequest {
+        self.deadline = Some(budget);
+        self
     }
 }
 
@@ -167,6 +208,16 @@ pub struct ServeStats {
     pub coalesced_spans: u64,
     /// Batched engine entries (`trials_batch` calls).
     pub batch_calls: u64,
+    /// Submissions shed by admission control ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Request segments rejected for an expired deadline
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Span chunks lost to a caught worker panic.
+    pub worker_panics: u64,
+    /// Trials requeued (and re-served bit-identically) after sharing a
+    /// span with a panicked chunk.
+    pub requeued_trials: u64,
     /// Artifact-cache counters.
     pub cache: CacheStats,
 }
@@ -197,6 +248,12 @@ impl Ticket {
     /// Absolute trial index the server allocated for the request.
     pub fn start(&self) -> usize {
         self.start
+    }
+
+    /// Number of trials the ticket is waiting on (clients retrying a
+    /// failed ticket resubmit the same `(start, trials)` range).
+    pub fn trials(&self) -> usize {
+        self.trials
     }
 
     /// Block until every trial of the request completes, reassembling
@@ -257,6 +314,10 @@ struct LaneExec {
     chunk: usize,
     /// Cloned per worker; cloning shares code, copies memory.
     template: Engine,
+    /// EWMA of observed per-trial service time, updated per completed
+    /// chunk; feeds the [`ServeError::Overloaded`] retry hint. `0` until
+    /// the lane's first chunk completes.
+    ns_per_trial: AtomicU64,
 }
 
 /// A pending request segment queued on a lane.
@@ -266,6 +327,9 @@ struct PendingSeg {
     offset_in_req: usize,
     tx: Sender<Part>,
     submitted: Instant,
+    /// Absolute expiry instant (submission + budget), if the request
+    /// carried one.
+    deadline: Option<Instant>,
 }
 
 /// One model family's serving state.
@@ -275,6 +339,9 @@ struct Lane {
     /// Next unallocated trial index.
     cursor: usize,
     pending: VecDeque<PendingSeg>,
+    /// Trials currently queued (sum of `pending` segment sizes); the
+    /// admission-control level [`ServeConfig::lane_capacity`] bounds.
+    queued: usize,
     /// Telemetry gauge tracking this lane's submitted-but-unpacked trials.
     depth: &'static telemetry::Gauge,
 }
@@ -286,6 +353,9 @@ struct Segment {
     trials: usize,
     tx: Sender<Part>,
     submitted: Instant,
+    /// Carried through packing so a requeued segment keeps its original
+    /// expiry.
+    deadline: Option<Instant>,
     /// When the segment was packed into this span; `submitted → packed` is
     /// the telemetry wait time, `packed → demux` the service time.
     packed: Instant,
@@ -298,6 +368,10 @@ struct SpanWork {
     passes: Vec<u64>,
     completed: usize,
     failed: Option<ServeError>,
+    /// Span-relative chunk ranges lost to a caught worker panic, with the
+    /// panic message; non-empty turns span completion into quarantine +
+    /// requeue instead of a plain demux.
+    panicked: Vec<(std::ops::Range<usize>, String)>,
 }
 
 /// A packed unit of execution: one contiguous trial range of one lane,
@@ -330,6 +404,10 @@ struct Counters {
     spans: AtomicU64,
     coalesced_spans: AtomicU64,
     batch_calls: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    worker_panics: AtomicU64,
+    requeued_trials: AtomicU64,
 }
 
 struct Inner {
@@ -357,7 +435,15 @@ pub struct ClientSession {
 impl Server {
     /// Start a server with the given configuration. Infallible: artifacts
     /// compile lazily on first use of each family.
+    ///
+    /// Arms the process-global chaos injector from `DISTILL_CHAOS` when
+    /// that variable is set (see [`distill::chaos`]), so a daemon under
+    /// test can have faults scheduled from the outside; a malformed spec
+    /// is reported on stderr rather than silently running fault-free.
     pub fn start(config: ServeConfig) -> Server {
+        if let Err(e) = distill::chaos::install_from_env() {
+            eprintln!("distill-serve: bad {} spec: {e}", distill::chaos::CHAOS_ENV);
+        }
         let mut config = config;
         config.workers = config.workers.max(1);
         config.batch = config.batch.max(1);
@@ -423,6 +509,10 @@ impl Server {
             spans: c.spans.load(Ordering::Relaxed),
             coalesced_spans: c.coalesced_spans.load(Ordering::Relaxed),
             batch_calls: c.batch_calls.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            requeued_trials: c.requeued_trials.load(Ordering::Relaxed),
             cache: self.inner.cache.lock().unwrap().stats(),
         }
     }
@@ -479,14 +569,32 @@ impl Inner {
         let start = {
             let mut st = self.state.lock().unwrap();
             let lane = &mut st.lanes[lane_idx];
+            let cap = self.config.lane_capacity;
+            if cap > 0 && lane.queued + req.trials > cap {
+                // Shed at the door: nothing is queued, the cursor does not
+                // move, and the client gets a drain-time estimate from the
+                // lane's observed service rate.
+                let per = lane.exec.ns_per_trial.load(Ordering::Relaxed).max(50_000);
+                let hint = Duration::from_nanos(lane.queued.max(1) as u64 * per);
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                if telemetry::enabled() {
+                    serve_probes().shed.inc();
+                }
+                return Err(ServeError::Overloaded {
+                    retry_after_hint: hint,
+                });
+            }
+            let submitted = Instant::now();
             let start = req.start.unwrap_or(lane.cursor);
             lane.cursor = lane.cursor.max(start + req.trials);
+            lane.queued += req.trials;
             lane.pending.push_back(PendingSeg {
                 start,
                 trials: req.trials,
                 offset_in_req: 0,
                 tx,
-                submitted: Instant::now(),
+                submitted,
+                deadline: req.deadline.map(|budget| submitted + budget),
             });
             if telemetry::enabled() {
                 lane.depth.add(req.trials as i64);
@@ -521,11 +629,22 @@ impl Inner {
         let spec = distill_models::by_name(family)
             .ok_or_else(|| ServeError::UnknownFamily(family.to_string()))?;
         let workload = spec.build(self.config.scale);
-        let artifact =
-            self.cache
-                .lock()
-                .unwrap()
-                .get_or_compile(family, &workload.model, self.config.compile)?;
+        let artifact = {
+            let mut cache = self.cache.lock().unwrap();
+            // Catch a compiler panic *inside* the guard so the cache mutex
+            // is never poisoned by a failed build: the panic becomes a
+            // typed Build error and the next lookup recompiles cleanly
+            // (the cache inserts only after a successful compile).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get_or_compile(family, &workload.model, self.config.compile)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ServeError::Build(format!(
+                    "artifact build panicked: {}",
+                    distill_exec::panic_message(payload.as_ref())
+                )))
+            })?
+        };
         let trial_fn = artifact.trial_func.ok_or_else(|| {
             ServeError::Build(format!(
                 "family `{family}` compiled without a whole-model entry point \
@@ -558,6 +677,7 @@ impl Inner {
             flats,
             template,
             artifact,
+            ns_per_trial: AtomicU64::new(0),
         });
         let mut st = self.state.lock().unwrap();
         // Another client may have raced us through the compile; keep theirs.
@@ -569,6 +689,7 @@ impl Inner {
             exec,
             cursor: 0,
             pending: VecDeque::new(),
+            queued: 0,
             depth: lane_depth_gauge(family),
         });
         Ok(st.lanes.len() - 1)
@@ -642,6 +763,7 @@ fn pack_next_span(st: &mut State, inner: &Inner) -> bool {
     let n = st.lanes.len();
     for i in 0..n {
         let li = (st.rr_cursor + i) % n;
+        expire_lane(&mut st.lanes[li], inner);
         if st.lanes[li].pending.is_empty() {
             continue;
         }
@@ -665,6 +787,41 @@ fn pack_next_span(st: &mut State, inner: &Inner) -> bool {
         return true;
     }
     false
+}
+
+/// Reject every queued segment whose deadline has passed with a typed
+/// [`ServeError::DeadlineExceeded`]. Runs under the state lock at pack
+/// time — the last gate before execution — so an expired request is never
+/// packed into a span, wherever it sits in the FIFO.
+fn expire_lane(lane: &mut Lane, inner: &Inner) {
+    if lane.pending.iter().all(|p| p.deadline.is_none()) {
+        return;
+    }
+    let now = Instant::now();
+    let before = lane.pending.len();
+    let mut expired_trials = 0usize;
+    lane.pending.retain(|p| {
+        let expired = p.deadline.is_some_and(|d| d <= now);
+        if expired {
+            expired_trials += p.trials;
+            let _ = p.tx.send(Part::Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
+    let expired_segs = before - lane.pending.len();
+    if expired_segs == 0 {
+        return;
+    }
+    lane.queued -= expired_trials;
+    inner
+        .counters
+        .expired
+        .fetch_add(expired_segs as u64, Ordering::Relaxed);
+    if telemetry::enabled() {
+        serve_probes().expired.add(expired_segs as u64);
+        serve_probes().queue_depth.add(-(expired_trials as i64));
+        lane.depth.add(-(expired_trials as i64));
+    }
 }
 
 /// Pack one span from the front of a lane's FIFO: contiguous segments in
@@ -697,6 +854,7 @@ fn pack_lane_span(lane: &mut Lane, lane_idx: usize, span_cap: usize) -> Arc<Span
             trials: take,
             tx: p.tx.clone(),
             submitted: p.submitted,
+            deadline: p.deadline,
             packed,
         });
         p.start += take;
@@ -708,6 +866,7 @@ fn pack_lane_span(lane: &mut Lane, lane_idx: usize, span_cap: usize) -> Arc<Span
             lane.pending.pop_front();
         }
     }
+    lane.queued -= total;
     let coalesced = segments.len() > 1;
     let chunk = lane.exec.chunk.min(total).max(1);
     Arc::new(SpanJob {
@@ -723,6 +882,7 @@ fn pack_lane_span(lane: &mut Lane, lane_idx: usize, span_cap: usize) -> Arc<Span
             passes: vec![0; total],
             completed: 0,
             failed: None,
+            panicked: Vec::new(),
         }),
     })
 }
@@ -781,77 +941,174 @@ fn run_span_chunk(
     let out_len = layout.trial_output_len;
     let n = range.len();
     let lo = span.lo + range.start;
-    let engine = engines
-        .entry(span.lane)
-        .or_insert_with(|| exec.template.clone());
-    let mut chunk_span = telemetry::span("serve.chunk");
-    chunk_span.arg_i64("lane", span.lane as i64);
-    chunk_span.arg_i64("lo", lo as i64);
-    chunk_span.arg_i64("trials", n as i64);
-    let result = (|| -> Result<(Vec<Vec<f64>>, Vec<u64>), ServeError> {
-        let mut outs = Vec::with_capacity(n);
-        let mut passes = Vec::with_capacity(n);
-        match exec.batch_fn {
-            Some(bf) => {
-                if layout.ext_len > 0 {
-                    let staging = stagings
-                        .entry(span.lane)
-                        .or_insert_with(|| layout.staging_buffer(exec.chunk));
-                    staging.stage(&exec.flats, lo, n);
-                    engine
-                        .write_global_f64(gn::BATCH_EXT, staging.publish())
-                        .map_err(exec_err)?;
+    let t0 = Instant::now();
+    let result = {
+        let engine = engines
+            .entry(span.lane)
+            .or_insert_with(|| exec.template.clone());
+        let mut chunk_span = telemetry::span("serve.chunk");
+        chunk_span.arg_i64("lane", span.lane as i64);
+        chunk_span.arg_i64("lo", lo as i64);
+        chunk_span.arg_i64("trials", n as i64);
+        // The chunk body runs under catch_unwind: a panic (an engine bug,
+        // or an armed chaos plan) must quarantine this chunk, not unwind
+        // the worker thread and strand the span.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(Vec<Vec<f64>>, Vec<u64>), ServeError> {
+                distill::chaos::chunk_delay();
+                distill::chaos::check_panic_trial(lo, n);
+                let mut outs = Vec::with_capacity(n);
+                let mut passes = Vec::with_capacity(n);
+                match exec.batch_fn {
+                    Some(bf) => {
+                        if layout.ext_len > 0 {
+                            let staging = stagings
+                                .entry(span.lane)
+                                .or_insert_with(|| layout.staging_buffer(exec.chunk));
+                            staging.stage(&exec.flats, lo, n);
+                            engine
+                                .write_global_f64(gn::BATCH_EXT, staging.publish())
+                                .map_err(exec_err)?;
+                        }
+                        engine
+                            .call(bf, &[Value::I64(lo as i64), Value::I64(n as i64)])
+                            .map_err(exec_err)?;
+                        inner.counters.batch_calls.fetch_add(1, Ordering::Relaxed);
+                        if telemetry::enabled() {
+                            serve_probes().batch_calls.inc();
+                        }
+                        let o = engine
+                            .read_global_f64_prefix(gn::BATCH_OUT, n * out_len)
+                            .map_err(exec_err)?;
+                        let p = engine
+                            .read_global_f64_prefix(gn::BATCH_PASSES, n)
+                            .map_err(exec_err)?;
+                        for k in 0..n {
+                            outs.push(o[k * out_len..(k + 1) * out_len].to_vec());
+                            passes.push(p[k] as u64);
+                        }
+                    }
+                    None => {
+                        for t in lo..lo + n {
+                            engine
+                                .write_global_f64(gn::EXT_INPUT, &exec.flats[t % exec.flats.len()])
+                                .map_err(exec_err)?;
+                            engine
+                                .call(exec.trial_fn, &[Value::I64(t as i64)])
+                                .map_err(exec_err)?;
+                            let out =
+                                engine.read_global_f64(gn::TRIAL_OUTPUT).map_err(exec_err)?;
+                            outs.push(out[..out_len].to_vec());
+                            passes.push(
+                                engine.read_global_i64(gn::PASSES, 0).map_err(exec_err)? as u64
+                            );
+                        }
+                    }
                 }
-                engine
-                    .call(bf, &[Value::I64(lo as i64), Value::I64(n as i64)])
-                    .map_err(exec_err)?;
-                inner.counters.batch_calls.fetch_add(1, Ordering::Relaxed);
-                if telemetry::enabled() {
-                    serve_probes().batch_calls.inc();
-                }
-                let o = engine
-                    .read_global_f64_prefix(gn::BATCH_OUT, n * out_len)
-                    .map_err(exec_err)?;
-                let p = engine
-                    .read_global_f64_prefix(gn::BATCH_PASSES, n)
-                    .map_err(exec_err)?;
-                for k in 0..n {
-                    outs.push(o[k * out_len..(k + 1) * out_len].to_vec());
-                    passes.push(p[k] as u64);
-                }
-            }
-            None => {
-                for t in lo..lo + n {
-                    engine
-                        .write_global_f64(gn::EXT_INPUT, &exec.flats[t % exec.flats.len()])
-                        .map_err(exec_err)?;
-                    engine
-                        .call(exec.trial_fn, &[Value::I64(t as i64)])
-                        .map_err(exec_err)?;
-                    let out = engine.read_global_f64(gn::TRIAL_OUTPUT).map_err(exec_err)?;
-                    outs.push(out[..out_len].to_vec());
-                    passes.push(engine.read_global_i64(gn::PASSES, 0).map_err(exec_err)? as u64);
-                }
-            }
-        }
-        Ok((outs, passes))
-    })();
+                Ok((outs, passes))
+            },
+        ));
+        drop(chunk_span);
+        result
+    };
 
-    drop(chunk_span);
     let mut work = span.work.lock().unwrap();
     match result {
-        Ok((outs, passes)) => {
+        Ok(Ok((outs, passes))) => {
+            // Feed the admission controller's retry hint with an EWMA of
+            // observed per-trial service time (racy updates are fine for a
+            // hint).
+            let per = (t0.elapsed().as_nanos() as u64) / n.max(1) as u64;
+            let old = exec.ns_per_trial.load(Ordering::Relaxed);
+            let ewma = if old == 0 { per } else { (3 * old + per) / 4 };
+            exec.ns_per_trial.store(ewma.max(1), Ordering::Relaxed);
             for (k, (o, p)) in outs.into_iter().zip(passes).enumerate() {
                 work.outs[range.start + k] = o;
                 work.passes[range.start + k] = p;
             }
         }
-        Err(e) => work.failed = Some(e),
+        Ok(Err(e)) => work.failed = Some(e),
+        Err(payload) => {
+            // Quarantine: the worker's engine (and staging buffer) for
+            // this lane may be mid-trial; drop both so the next chunk
+            // starts from a fresh template clone. Other workers' clones
+            // and the shared template are unaffected.
+            engines.remove(&span.lane);
+            stagings.remove(&span.lane);
+            let msg = distill_exec::panic_message(payload.as_ref());
+            inner.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if telemetry::enabled() {
+                serve_probes().worker_panics.inc();
+            }
+            work.panicked.push((range.clone(), msg));
+        }
     }
     work.completed += n;
     if work.completed == span.trials {
-        demux_span(span, &mut work);
+        finish_span(inner, span, &mut work);
     }
+}
+
+/// Complete a span. The clean path demuxes results to the requesters; a
+/// span that lost chunks to a worker panic instead fails exactly the
+/// segments overlapping the lost ranges with a typed
+/// [`ServeError::WorkerPanicked`] and requeues every other segment at the
+/// front of its lane, where the next pack re-serves it — bit-identically,
+/// because segments carry absolute trial indices and chunk execution is
+/// deterministic in them.
+fn finish_span(inner: &Inner, span: &SpanJob, work: &mut MutexGuard<'_, SpanWork>) {
+    if work.panicked.is_empty() {
+        demux_span(span, work);
+        return;
+    }
+    let panicked = std::mem::take(&mut work.panicked);
+    let segments = std::mem::take(&mut work.segments);
+    let mut requeue = Vec::new();
+    for seg in segments {
+        let rel = seg.start - span.lo;
+        let hit = panicked
+            .iter()
+            .find(|(r, _)| rel < r.end && r.start < rel + seg.trials);
+        match hit {
+            Some((_, msg)) => {
+                let _ = seg.tx.send(Part::Err(ServeError::WorkerPanicked(msg.clone())));
+            }
+            None => requeue.push(seg),
+        }
+    }
+    if requeue.is_empty() {
+        return;
+    }
+    let total: usize = requeue.iter().map(|s| s.trials).sum();
+    inner
+        .counters
+        .requeued_trials
+        .fetch_add(total as u64, Ordering::Relaxed);
+    // Taking the state lock while holding the span's work lock is safe:
+    // no path acquires them in the opposite order (pack and grab touch
+    // only the state lock; the span queue is lock-free).
+    let mut st = inner.state.lock().unwrap();
+    let lane = &mut st.lanes[span.lane];
+    lane.queued += total;
+    if telemetry::enabled() {
+        serve_probes().requeued.add(total as u64);
+        serve_probes().queue_depth.add(total as i64);
+        lane.depth.add(total as i64);
+    }
+    // Reverse push_front keeps the requeued segments in ascending start
+    // order at the front of the FIFO, ahead of newer arrivals.
+    for seg in requeue.into_iter().rev() {
+        lane.pending.push_front(PendingSeg {
+            start: seg.start,
+            trials: seg.trials,
+            offset_in_req: seg.offset_in_req,
+            tx: seg.tx,
+            submitted: seg.submitted,
+            deadline: seg.deadline,
+        });
+    }
+    drop(st);
+    inner.work_cv.notify_all();
 }
 
 /// Send each segment of a completed span its slice of the results.
@@ -957,6 +1214,7 @@ mod tests {
                 family: "necker_cube_3".into(),
                 trials: 2,
                 start: Some(10),
+                deadline: None,
             })
             .unwrap();
         let got = a.wait().unwrap();

@@ -12,10 +12,25 @@
 //! charged to the request on top of the server-side queue + execution
 //! time, so an overloaded run shows up as latency growth rather than being
 //! silently re-timed.
+//!
+//! # Retry
+//!
+//! The generator is also the reference client for the server's resilience
+//! surface. A submission shed with [`ServeError::Overloaded`] is retried
+//! up to [`TrafficConfig::max_attempts`] times after the server's
+//! `retry_after_hint` (or the seeded exponential backoff, whichever is
+//! longer); a ticket that fails with [`ServeError::WorkerPanicked`] is
+//! resubmitted for the *same* absolute trial range, so the retried
+//! response is bit-identical to what the failed attempt would have
+//! returned. Backoff jitter is seeded ([`TrafficConfig::retry_seed`]) —
+//! the same config replays the same pauses. Requests that exhaust their
+//! attempts (or hit a non-retryable error such as
+//! [`ServeError::DeadlineExceeded`]) are reported per request in
+//! [`TrafficReport::failed`] instead of aborting the run.
 
 use std::time::{Duration, Instant};
 
-use crate::server::{Server, TrialRequest};
+use crate::server::{Server, Ticket, TrialRequest};
 use crate::ServeError;
 
 /// Open-loop load description.
@@ -32,6 +47,17 @@ pub struct TrafficConfig {
     pub clients: usize,
     /// Scheduled gap between consecutive arrivals (across all clients).
     pub arrival_interval: Duration,
+    /// Optional per-request latency budget, forwarded to the server (see
+    /// [`TrialRequest::deadline`]).
+    pub deadline: Option<Duration>,
+    /// Attempts per request (submission or wait), 1 = no retry.
+    pub max_attempts: u32,
+    /// Base pause before the first retry; doubles per attempt, with seeded
+    /// jitter on top.
+    pub retry_base: Duration,
+    /// Seed for the retry-jitter stream: the same `(seed, request,
+    /// attempt)` always produces the same pause.
+    pub retry_seed: u64,
 }
 
 impl Default for TrafficConfig {
@@ -42,6 +68,10 @@ impl Default for TrafficConfig {
             trials_per_request: 8,
             clients: 4,
             arrival_interval: Duration::from_micros(200),
+            deadline: None,
+            max_attempts: 3,
+            retry_base: Duration::from_micros(200),
+            retry_seed: 0xC0FF_EE00,
         }
     }
 }
@@ -55,10 +85,27 @@ pub struct RequestRecord {
     pub start: usize,
     /// Trials requested.
     pub trials: usize,
-    /// End-to-end latency in seconds, from scheduled arrival to demux.
+    /// End-to-end latency in seconds, from scheduled arrival to demux
+    /// (including any retry pauses).
     pub latency_s: f64,
     /// Whether the request shared a span with another request.
     pub coalesced: bool,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// A request that did not complete: it exhausted its attempts or hit a
+/// non-retryable error.
+#[derive(Debug, Clone)]
+pub struct FailedRequest {
+    /// Submission index of the request.
+    pub index: usize,
+    /// Family it targeted.
+    pub family: String,
+    /// The final error.
+    pub error: ServeError,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
 }
 
 /// Aggregated open-loop run results.
@@ -75,22 +122,49 @@ pub struct TrafficReport {
     /// Completed trials per second.
     pub throughput_tps: f64,
     /// Per-request latencies in seconds, sorted ascending (feed to
-    /// `distill_bench_harness::percentile_sorted` for p50/p95/p99).
+    /// `distill_bench_harness::percentile_sorted` for p50/p95/p99);
+    /// completed requests only.
     pub latencies_s: Vec<f64>,
     /// Requests whose response was coalesced with another request's.
     pub coalesced_requests: usize,
-    /// Per-request outcomes in submission order.
+    /// Per-request outcomes in submission order (completed requests).
     pub records: Vec<RequestRecord>,
+    /// Requests that did not complete, in submission order — per-request
+    /// failures are reported here rather than aborting the whole run.
+    pub failed: Vec<FailedRequest>,
+    /// Total retry attempts across all requests (shed resubmissions plus
+    /// panic-recovery resubmissions).
+    pub retries: u64,
 }
 
+/// Seeded exponential backoff with jitter: `base * 2^(attempt-1)`,
+/// stretched by a deterministic factor in `[1, 2)` drawn from
+/// `(seed, request, attempt)`.
+fn backoff(config: &TrafficConfig, request: usize, attempt: u32) -> Duration {
+    let mut s = config
+        .retry_seed
+        .wrapping_add((request as u64) << 24)
+        .wrapping_add(attempt as u64);
+    let jitter = 1.0 + (distill::chaos::splitmix64(&mut s) % 1024) as f64 / 1024.0;
+    let base = config.retry_base.max(Duration::from_micros(1));
+    base.saturating_mul(1u32 << (attempt - 1).min(16)).mul_f64(jitter)
+}
+
+/// What one client thread produced: completed records (tagged with their
+/// submission index), per-request failures, and its retry count.
+type ClientOutcome = (Vec<(usize, RequestRecord)>, Vec<FailedRequest>, u64);
+
 /// Drive `server` with the configured open-loop load and collect the
-/// report. Blocks until every submitted request completes.
+/// report. Blocks until every submitted request completes or conclusively
+/// fails; per-request errors land in [`TrafficReport::failed`].
 ///
 /// # Errors
-/// The first [`ServeError`] any request hits (submission or execution).
+/// Only config-level preflight failures (an unknown family); request-level
+/// errors never abort the run.
 pub fn run_open_loop(server: &Server, config: &TrafficConfig) -> Result<TrafficReport, ServeError> {
     assert!(!config.families.is_empty(), "traffic needs at least one family");
     assert!(config.clients > 0, "traffic needs at least one client");
+    assert!(config.max_attempts > 0, "traffic needs at least one attempt");
     // Compile every lane up front so the measurement is steady-state
     // serving, not first-request compilation.
     for family in &config.families {
@@ -99,59 +173,52 @@ pub fn run_open_loop(server: &Server, config: &TrafficConfig) -> Result<TrafficR
 
     let clients = config.clients.min(config.requests.max(1));
     let t0 = Instant::now();
-    let results: Vec<Result<Vec<(usize, RequestRecord)>, ServeError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|c| {
-                    let session = server.client();
-                    let config = &*config;
-                    scope.spawn(move || {
-                        let mut tickets = Vec::new();
-                        for i in (c..config.requests).step_by(clients) {
-                            let scheduled = t0 + config.arrival_interval * i as u32;
-                            while Instant::now() < scheduled {
-                                std::thread::sleep(
-                                    scheduled.saturating_duration_since(Instant::now()),
-                                );
-                            }
-                            let slip = scheduled.elapsed();
-                            let family = &config.families[i % config.families.len()];
-                            let ticket = session
-                                .submit(TrialRequest::new(family, config.trials_per_request))?;
-                            tickets.push((i, slip, ticket));
-                        }
-                        // Open loop: wait only after the client's whole
-                        // schedule is submitted.
-                        let mut records = Vec::with_capacity(tickets.len());
-                        for (i, slip, ticket) in tickets {
-                            let response = ticket.wait()?;
-                            records.push((
-                                i,
-                                RequestRecord {
-                                    family: response.family.clone(),
-                                    start: response.start,
-                                    trials: response.outputs.len(),
-                                    latency_s: (slip + response.latency).as_secs_f64(),
-                                    coalesced: response.coalesced,
-                                },
-                            ));
-                        }
-                        Ok(records)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("traffic client panicked"))
-                .collect()
-        });
+    let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let session = server.client();
+                let config = &*config;
+                scope.spawn(move || run_client(&session, config, clients, c, t0))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(c, h)| match h.join() {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    // A panicked client thread loses its bookkeeping; charge
+                    // each request it owned as failed rather than aborting
+                    // the whole generator.
+                    let msg = distill_exec::panic_message(payload.as_ref());
+                    let failed = (c..config.requests)
+                        .step_by(clients)
+                        .map(|i| FailedRequest {
+                            index: i,
+                            family: config.families[i % config.families.len()].clone(),
+                            error: ServeError::WorkerPanicked(format!(
+                                "traffic client panicked: {msg}"
+                            )),
+                            attempts: 0,
+                        })
+                        .collect();
+                    (Vec::new(), failed, 0)
+                }
+            })
+            .collect()
+    });
     let elapsed_s = t0.elapsed().as_secs_f64();
 
     let mut records_by_index = Vec::new();
-    for r in results {
-        records_by_index.extend(r?);
+    let mut failed = Vec::new();
+    let mut retries = 0u64;
+    for (r, f, n) in results {
+        records_by_index.extend(r);
+        failed.extend(f);
+        retries += n;
     }
     records_by_index.sort_by_key(|(i, _)| *i);
+    failed.sort_by_key(|f| f.index);
     let records: Vec<RequestRecord> = records_by_index.into_iter().map(|(_, r)| r).collect();
     let trials: usize = records.iter().map(|r| r.trials).sum();
     let coalesced_requests = records.iter().filter(|r| r.coalesced).count();
@@ -166,7 +233,121 @@ pub fn run_open_loop(server: &Server, config: &TrafficConfig) -> Result<TrafficR
         latencies_s,
         coalesced_requests,
         records,
+        failed,
+        retries,
     })
+}
+
+/// One client thread: submit its slice of the schedule (with shed-retry),
+/// then redeem every ticket (with panic-retry).
+fn run_client(
+    session: &crate::server::ClientSession,
+    config: &TrafficConfig,
+    clients: usize,
+    c: usize,
+    t0: Instant,
+) -> ClientOutcome {
+    let mut tickets: Vec<(usize, Duration, u32, Ticket)> = Vec::new();
+    let mut failed = Vec::new();
+    let mut retries = 0u64;
+    for i in (c..config.requests).step_by(clients) {
+        let scheduled = t0 + config.arrival_interval * i as u32;
+        while Instant::now() < scheduled {
+            std::thread::sleep(scheduled.saturating_duration_since(Instant::now()));
+        }
+        let slip = scheduled.elapsed();
+        let family = &config.families[i % config.families.len()];
+        let mut attempt = 1u32;
+        loop {
+            let mut request = TrialRequest::new(family, config.trials_per_request);
+            request.deadline = config.deadline;
+            match session.submit(request) {
+                Ok(t) => {
+                    tickets.push((i, slip, attempt, t));
+                    break;
+                }
+                Err(ServeError::Overloaded { retry_after_hint })
+                    if attempt < config.max_attempts =>
+                {
+                    retries += 1;
+                    std::thread::sleep(retry_after_hint.max(backoff(config, i, attempt)));
+                    attempt += 1;
+                }
+                Err(error) => {
+                    failed.push(FailedRequest {
+                        index: i,
+                        family: family.clone(),
+                        error,
+                        attempts: attempt,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    // Open loop: wait only after the client's whole schedule is submitted.
+    let mut records = Vec::with_capacity(tickets.len());
+    for (i, slip, first_attempts, ticket) in tickets {
+        let family = config.families[i % config.families.len()].clone();
+        let mut attempt = first_attempts;
+        let mut current = ticket;
+        loop {
+            let (start, trials) = (current.start(), current.trials());
+            match current.wait() {
+                Ok(response) => {
+                    records.push((
+                        i,
+                        RequestRecord {
+                            family: response.family.clone(),
+                            start: response.start,
+                            trials: response.outputs.len(),
+                            latency_s: (slip + response.latency).as_secs_f64(),
+                            coalesced: response.coalesced,
+                            attempts: attempt,
+                        },
+                    ));
+                    break;
+                }
+                Err(ServeError::WorkerPanicked(_)) if attempt < config.max_attempts => {
+                    // Transient by construction (the panicked worker is
+                    // quarantined): resubmit the *same* absolute range so
+                    // the retried response is bit-identical to a solo run
+                    // of the original allocation.
+                    retries += 1;
+                    std::thread::sleep(backoff(config, i, attempt));
+                    attempt += 1;
+                    let request = TrialRequest {
+                        family: family.clone(),
+                        trials,
+                        start: Some(start),
+                        deadline: config.deadline,
+                    };
+                    match session.submit(request) {
+                        Ok(t) => current = t,
+                        Err(error) => {
+                            failed.push(FailedRequest {
+                                index: i,
+                                family,
+                                error,
+                                attempts: attempt,
+                            });
+                            break;
+                        }
+                    }
+                }
+                Err(error) => {
+                    failed.push(FailedRequest {
+                        index: i,
+                        family,
+                        error,
+                        attempts: attempt,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    (records, failed, retries)
 }
 
 #[cfg(test)]
@@ -187,17 +368,33 @@ mod tests {
             trials_per_request: 3,
             clients: 3,
             arrival_interval: Duration::from_micros(50),
+            ..TrafficConfig::default()
         };
         let report = run_open_loop(&server, &config).unwrap();
         assert_eq!(report.requests, 10);
         assert_eq!(report.trials, 30);
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        assert_eq!(report.retries, 0, "clean run needs no retries");
         assert_eq!(report.latencies_s.len(), 10);
         assert!(report.throughput_rps > 0.0);
         assert!(report.latencies_s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.records.iter().all(|r| r.attempts == 1));
         // Every record is bit-identical to its solo rerun.
         for r in &report.records {
             let solo = server.run_solo(&r.family, r.start, r.trials).unwrap();
             assert_eq!(solo.outputs.len(), r.trials);
+        }
+    }
+
+    #[test]
+    fn backoff_is_seeded_and_monotone_in_attempts() {
+        let config = TrafficConfig::default();
+        assert_eq!(backoff(&config, 3, 1), backoff(&config, 3, 1));
+        assert_ne!(backoff(&config, 3, 1), backoff(&config, 4, 1), "jitter varies by request");
+        // Exponential envelope: attempt k+2 always exceeds attempt k
+        // (jitter spans [1, 2), the base doubles).
+        for k in 1..6u32 {
+            assert!(backoff(&config, 0, k + 2) > backoff(&config, 0, k));
         }
     }
 }

@@ -463,7 +463,7 @@ pub fn dsweep_family(family: &str, cfg: &DsweepConfig) -> Result<DsweepReport, D
                         batch: cfg.batch.max(1) as u64,
                         threads: cfg.threads.max(1) as u64,
                         artifact: artifact_bytes.clone(),
-                        faults: cfg.faults.for_worker(slot as u32),
+                        faults: proto::worker_faults(&cfg.faults, slot as u32),
                     });
                     let mut write = write;
                     if proto::write_msg(&mut write, &job).is_ok() {

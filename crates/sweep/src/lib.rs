@@ -36,7 +36,7 @@ pub mod proto;
 pub mod worker;
 
 pub use coordinator::{dsweep_family, find_worker_bin, DsweepConfig, DsweepReport, WorkerMode};
-pub use proto::{FaultPlan, WorkerFaults};
+pub use proto::{worker_faults, FaultPlan, WorkerFaults};
 
 /// How a sweep executes its workloads.
 #[derive(Debug, Clone)]

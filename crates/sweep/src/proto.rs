@@ -199,114 +199,27 @@ impl WorkerFaults {
     }
 }
 
-/// A deterministic, seeded fault schedule for the whole topology. Inert by
-/// default; tests, the CI smoke and the `figures --dsweep` section arm it
-/// through [`FaultPlan::seeded`] or [`FaultPlan::from_env`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct FaultPlan {
-    /// Seed recorded for reproduction (informational once the targets are
-    /// derived).
-    pub seed: u64,
-    /// Kill worker `.0` after `.1` completed leases.
-    pub kill: Option<(u32, u64)>,
-    /// Drop the result of worker `.0`'s lease number `.1`.
-    pub drop: Option<(u32, u64)>,
-    /// Garble the result frame of worker `.0`'s lease number `.1`.
-    pub garble: Option<(u32, u64)>,
-    /// Delay every heartbeat of every worker by this many milliseconds.
-    pub heartbeat_delay_ms: u64,
-}
+/// The dsweep fault schedule is the unified chaos plan from
+/// [`distill::chaos`]: the dsweep fields (`kill`, `drop`, `garble`,
+/// `heartbeat_delay_ms`, `seed`) are consumed here, sliced per worker by
+/// [`worker_faults`]; the rest of the plan (trial panics, build panics,
+/// read corruption, delays) drives the process-global chaos hooks. The
+/// old `FaultPlan` name remains the public surface of this crate.
+pub use distill::chaos::ChaosPlan as FaultPlan;
 
-/// The environment variable [`FaultPlan::from_env`] reads.
-pub const FAULTS_ENV: &str = "DISTILL_DSWEEP_FAULTS";
+/// The deprecated environment variable historically read by
+/// `FaultPlan::from_env`; still honored as a compatibility alias when
+/// [`distill::chaos::CHAOS_ENV`] (`DISTILL_CHAOS`) is unset.
+pub const FAULTS_ENV: &str = distill::chaos::DSWEEP_FAULTS_ENV;
 
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl FaultPlan {
-    /// A seeded kill schedule: derive a victim worker from `seed`
-    /// deterministically, so one integer reproduces the whole failure
-    /// scenario. The victim always dies on its *first* lease grab — the
-    /// coordinator holds assignment until every spawned worker has
-    /// connected, so a first lease is the one grab scheduling cannot
-    /// starve the victim out of, making the kill land under any load.
-    pub fn seeded(seed: u64, workers: usize) -> FaultPlan {
-        let mut s = seed;
-        let victim = (splitmix(&mut s) % workers.max(1) as u64) as u32;
-        FaultPlan {
-            seed,
-            kill: Some((victim, 0)),
-            ..FaultPlan::default()
-        }
-    }
-
-    /// Parse the plan from [`FAULTS_ENV`]. Format: comma-separated
-    /// `kill=W@K`, `drop=W@K`, `garble=W@K`, `hbdelay=MS`, `seed=S`
-    /// (worker `W` faults at lease `K`). Unset or empty → inert plan;
-    /// malformed entries are an error so a typoed schedule cannot silently
-    /// run fault-free.
-    pub fn from_env() -> Result<FaultPlan, String> {
-        match std::env::var(FAULTS_ENV) {
-            Ok(v) if !v.trim().is_empty() => FaultPlan::parse(&v),
-            _ => Ok(FaultPlan::default()),
-        }
-    }
-
-    /// Parse the [`FAULTS_ENV`] format (exposed for tests and CLIs).
-    pub fn parse(text: &str) -> Result<FaultPlan, String> {
-        let mut plan = FaultPlan::default();
-        for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let (key, value) = item
-                .split_once('=')
-                .ok_or_else(|| format!("fault entry '{item}' is not key=value"))?;
-            let worker_at = |v: &str| -> Result<(u32, u64), String> {
-                let (w, k) = v
-                    .split_once('@')
-                    .ok_or_else(|| format!("fault value '{v}' is not W@K"))?;
-                Ok((
-                    w.parse().map_err(|_| format!("bad worker index '{w}'"))?,
-                    k.parse().map_err(|_| format!("bad lease count '{k}'"))?,
-                ))
-            };
-            match key {
-                "kill" => plan.kill = Some(worker_at(value)?),
-                "drop" => plan.drop = Some(worker_at(value)?),
-                "garble" => plan.garble = Some(worker_at(value)?),
-                "hbdelay" => {
-                    plan.heartbeat_delay_ms =
-                        value.parse().map_err(|_| format!("bad delay '{value}'"))?;
-                }
-                "seed" => {
-                    plan.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
-                }
-                other => return Err(format!("unknown fault key '{other}'")),
-            }
-        }
-        Ok(plan)
-    }
-
-    /// This plan's slice for worker `worker`.
-    pub fn for_worker(&self, worker: u32) -> WorkerFaults {
-        let pick = |f: Option<(u32, u64)>| f.filter(|(w, _)| *w == worker).map(|(_, k)| k);
-        WorkerFaults {
-            kill_after: pick(self.kill),
-            drop_after: pick(self.drop),
-            garble_after: pick(self.garble),
-            heartbeat_delay_ms: self.heartbeat_delay_ms,
-        }
-    }
-
-    /// Whether the plan injects nothing anywhere.
-    pub fn is_inert(&self) -> bool {
-        self.kill.is_none()
-            && self.drop.is_none()
-            && self.garble.is_none()
-            && self.heartbeat_delay_ms == 0
+/// Slice `plan` down to the faults worker `worker` must self-inject.
+pub fn worker_faults(plan: &FaultPlan, worker: u32) -> WorkerFaults {
+    let pick = |f: Option<(u32, u64)>| f.filter(|(w, _)| *w == worker).map(|(_, k)| k);
+    WorkerFaults {
+        kill_after: pick(plan.kill),
+        drop_after: pick(plan.drop),
+        garble_after: pick(plan.garble),
+        heartbeat_delay_ms: plan.heartbeat_delay_ms,
     }
 }
 
@@ -788,10 +701,10 @@ mod tests {
         assert_eq!(plan.drop, Some((0, 1)));
         assert_eq!(plan.heartbeat_delay_ms, 40);
         assert_eq!(plan.seed, 9);
-        let w1 = plan.for_worker(1);
+        let w1 = worker_faults(&plan, 1);
         assert_eq!(w1.kill_after, Some(2));
         assert_eq!(w1.drop_after, None);
-        let w0 = plan.for_worker(0);
+        let w0 = worker_faults(&plan, 0);
         assert_eq!(w0.kill_after, None);
         assert_eq!(w0.drop_after, Some(1));
         assert!(FaultPlan::parse("kill=oops").is_err());
